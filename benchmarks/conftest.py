@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Scale is controlled with ``REPRO_SCALE`` (``test`` by default, ``full`` for
+paper-sized runs).  Every benchmark prints the regenerated table/figure so
+``pytest benchmarks/ -s`` reproduces the paper's evaluation section, and
+asserts the qualitative *shape* of each result.
+"""
+
+import os
+
+import pytest
+
+
+def scale() -> str:
+    return os.environ.get("REPRO_SCALE", "test")
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return scale()
+
+
+def report(title: str, text: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+    print(text)

@@ -1,0 +1,64 @@
+"""Section 4.1 — the cost of deoptimization exit points.
+
+The paper reports an experiment where all deoptimization exit points were
+unsoundly dropped from the backend: peak performance was unchanged, but
+code size fell (the exits account for ~30% more LLVM instructions in the
+guarded build).
+
+We reproduce it: compile the sum function with and without exits (the
+``unsound_drop_deopt_exits`` switch) and compare native code size and peak
+per-iteration cost on the type-stable workload (where the guards never
+fire, so dropping them is invisible except in size).
+"""
+
+import statistics
+import time
+
+from conftest import bench_scale, report
+from repro import Config, RVM, from_r
+
+SRC = """
+sumfn <- function(data, len) {
+  total <- 0
+  for (i in 1:len) total <- total + data[[i]]
+  total
+}
+"""
+
+
+def _peak_and_size(drop_exits: bool, n: int):
+    vm = RVM(Config(compile_threshold=1, unsound_drop_deopt_exits=drop_exits))
+    vm.eval(SRC)
+    vm.eval("x <- numeric(%d)" % n)
+    vm.eval("for (i in 1:%d) x[[i]] <- i * 1.0" % n)
+    for _ in range(3):
+        vm.eval("sumfn(x, %dL)" % n)
+    clo = vm.global_env.get("sumfn")
+    size = clo.jit.version.size
+    times = []
+    for _ in range(7):
+        t0 = time.perf_counter()
+        r = vm.eval("sumfn(x, %dL)" % n)
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times), size, from_r(r)
+
+
+def test_codesize_overhead_of_exits(bench_scale):
+    n = 2000 if bench_scale == "test" else 20000
+    t_guarded, size_guarded, r1 = _peak_and_size(False, n)
+    t_dropped, size_dropped, r2 = _peak_and_size(True, n)
+    overhead = (size_guarded - size_dropped) / size_dropped * 100.0
+    report(
+        "Section 4.1: cost of deopt exit points",
+        "with exits:    %3d ops, %.4fs\nwithout exits: %3d ops, %.4fs\n"
+        "code-size overhead of exits: %.0f%% (paper: ~30%% more instructions)\n"
+        "peak-performance ratio: %.2f (paper: unchanged)"
+        % (size_guarded, t_guarded, size_dropped, t_dropped,
+           overhead, t_guarded / t_dropped),
+    )
+    assert r1 == r2
+    # the exits cost code size...
+    assert size_guarded > size_dropped
+    assert overhead > 5.0
+    # ...but peak performance on the guarded, never-failing path is close
+    assert t_guarded / t_dropped < 1.6

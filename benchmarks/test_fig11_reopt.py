@@ -1,0 +1,52 @@
+"""Figure 11 — deoptless versus profile-driven reoptimization [14].
+
+The reoptimization paper's three benchmarks: only RSA's phase change is
+accompanied by a deoptimization, so the paper expects (and finds) deoptless
+improves RSA (matching reoptimization's best-case 1.4×) and leaves the
+microbenchmark and the shared-function case unchanged.
+"""
+
+from conftest import bench_scale, report
+from repro.bench.figures import fig11_reopt
+
+
+def test_fig11_shape(bench_scale):
+    res = fig11_reopt(scale=bench_scale, iterations=6)
+    report("Figure 11: vs profile-driven reoptimization", res.report())
+    rows = {r.name: r for r in res.rows}
+
+    # the microbenchmark's phase change is not accompanied by a deopt:
+    # deoptless cannot (and must not) change anything.  (One warmup-time
+    # deopt of the driver function itself may occur before feedback merges;
+    # what matters is that the int->double *phase change* does not deopt.)
+    micro = rows["microbenchmark"]
+    assert micro.deopts_normal <= 2
+    assert 0.6 < micro.deoptless_speedup < 1.6
+
+    # shared function: merged feedback, generic from the start, no deopt
+    shared = rows["shared function"]
+    assert shared.deopts_normal == 0
+    assert 0.6 < shared.deoptless_speedup < 1.6
+
+    # RSA: the key's type change deopts; deoptless keeps the specialized
+    # code and clearly wins (the paper's reopt best case is 1.4x; our
+    # generic/specialized gap is wider, so the win is at least that)
+    rsa = rows["rsa"]
+    assert rsa.deopts_normal > 0
+    assert rsa.deoptless_speedup > 1.3
+
+
+def test_fig11_rsa_kernel_benchmark(benchmark, bench_scale):
+    from repro import Config, RVM
+    from repro.bench.workload import REGISTRY
+    import repro.bench.programs  # noqa: F401
+
+    w = REGISTRY.get("reopt_rsa")
+    n = w.n_test if bench_scale == "test" else w.n
+    vm = RVM(Config(enable_deoptless=True))
+    vm.eval(w.source)
+    vm.eval(w.setup_code(n))
+    for _ in range(3):
+        vm.eval("rsa_run(rsa_msgs, rsa_n, rsa_key_int, rsa_mod, 1L)")
+    vm.eval("rsa_run(rsa_msgs, rsa_n, rsa_key_dbl, rsa_mod, 1L)")
+    benchmark(vm.eval, "rsa_run(rsa_msgs, rsa_n, rsa_key_dbl, rsa_mod, 1L)")

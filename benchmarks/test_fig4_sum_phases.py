@@ -1,0 +1,82 @@
+"""Figure 4 — the paper's running example: ``sum`` over a vector whose
+element type changes int → float → complex → float.
+
+Shape asserted (paper section 3 discussion):
+
+* both modes warm up identically in the int phase (no deopt yet);
+* at the float change, normal deoptimization tiers down and settles on
+  *more generic, slower* code, deoptless compiles a float continuation once
+  and is fast again;
+* complex is slow in both modes (complex is not unboxed, as in Ř);
+* back on floats, deoptless reuses its retained specialized code and beats
+  the over-generalized normal version.
+"""
+
+from conftest import bench_scale, report
+from repro.bench.figures import fig4_sum_phases
+
+
+def test_fig4_shape(bench_scale):
+    res = fig4_sum_phases(scale=bench_scale, iterations=5)
+    report("Figure 4: sum() phase behaviour (seconds per iteration)", res.report())
+
+    normal, deoptless = res.normal, res.deoptless
+
+    # phase 1: no deopts in either mode during warmup
+    assert normal.phase_records("int")[-1].deopts == 0
+    assert deoptless.phase_records("int")[-1].deopts == 0
+
+    # the float change deopts in both; normal retires code, deoptless doesn't
+    assert normal.total_deopts() > 0
+    assert deoptless.records[-1].deoptless_dispatches > 0
+
+    # deoptless float phase is at least as fast as normal's generic code at
+    # stable iterations
+    assert deoptless.stable_time("float", skip=2) <= normal.stable_time("float", skip=2) * 1.5
+
+    # final float phase: deoptless clearly beats the over-generalized code
+    assert deoptless.stable_time("float2") < normal.stable_time("float2")
+
+    # and the simulated-cycle account (machine independent) agrees
+    assert deoptless.stable_cycles("float2") < normal.stable_cycles("float2")
+
+
+def test_fig4_normal_overgeneralizes(bench_scale):
+    """After the full phase tour, the normal mode's int performance never
+    recovers (the function got more generic), while deoptless retained the
+    original specialized version."""
+    from repro.bench.figures import REGISTRY
+    from repro.bench.harness import Phase, compare_phases
+    from repro.bench.programs.paper_examples import SUM_PHASE_SETUPS, SUM_SOURCE
+
+    w = REGISTRY.get("sum_phases")
+    n = w.n_test if bench_scale == "test" else w.n
+    phases = [
+        Phase("int", ("length <- %dL\n" % n) + SUM_PHASE_SETUPS["int"].format(n=n), "sum()", 5),
+        Phase("float", SUM_PHASE_SETUPS["float"].format(n=n), "sum()", 5),
+        Phase("int2", SUM_PHASE_SETUPS["int"].format(n=n), "sum()", 5),
+    ]
+    normal, deoptless = compare_phases(SUM_SOURCE, phases)
+    # deoptless reuses the retained int-specialized code; normal is stuck
+    # with the generic recompile
+    assert deoptless.stable_cycles("int2") < normal.stable_cycles("int2")
+
+
+def test_fig4_kernel_benchmark(benchmark, bench_scale):
+    """pytest-benchmark timing for the stable float phase under deoptless."""
+    from repro import Config, RVM
+    from repro.bench.figures import REGISTRY
+    from repro.bench.programs.paper_examples import SUM_PHASE_SETUPS, SUM_SOURCE
+
+    w = REGISTRY.get("sum_phases")
+    n = w.n_test if bench_scale == "test" else w.n
+    vm = RVM(Config(enable_deoptless=True))
+    vm.eval(SUM_SOURCE)
+    vm.eval("length <- %dL" % n)
+    vm.eval(SUM_PHASE_SETUPS["int"].format(n=n))
+    for _ in range(5):
+        vm.eval("sum()")
+    vm.eval(SUM_PHASE_SETUPS["float"].format(n=n))
+    for _ in range(3):
+        vm.eval("sum()")
+    benchmark(vm.eval, "sum()")

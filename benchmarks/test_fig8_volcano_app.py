@@ -1,0 +1,48 @@
+"""Figure 8 — the volcano shiny-app session.
+
+The paper replays a recorded interactive session; deopts occur when the
+user picks a different numerical interpolation function.  Deoptless shows
+up to 2× on those interactions for the ray tracer, and a consistent ~2.5×
+on the rendering step after warmup (over-generalization avoided).
+"""
+
+import statistics
+
+from conftest import bench_scale, report
+from repro.bench.figures import fig8_volcano_app
+from repro.bench.harness import geomean
+
+
+def test_fig8_shape(bench_scale):
+    res = fig8_volcano_app(scale=bench_scale)
+    report("Figure 8: volcano app interactive session", res.report())
+
+    # interactions that switch the interpolation function
+    switch_steps = [s for s in res.steps if "switch" in s.interaction]
+    assert switch_steps
+    # deoptless speeds up the frames around interpolation switches
+    assert geomean([s.trace_speedup for s in switch_steps]) > 1.0
+
+    # across the whole session deoptless does not lose
+    all_trace = [s.trace_speedup for s in res.steps]
+    assert geomean(all_trace) > 0.9
+
+    # the later part of the session (post-warmup, post-generalization in the
+    # normal config) favours deoptless
+    tail = res.steps[len(res.steps) // 2 :]
+    assert geomean([s.trace_speedup for s in tail]) > 1.0
+
+
+def test_fig8_kernel_benchmark(benchmark, bench_scale):
+    from repro import Config, RVM
+    from repro.bench.programs.volcano import VOLCANO_SOURCE
+    from repro.bench.workload import REGISTRY
+
+    w = REGISTRY.get("volcano")
+    n = w.n_test if bench_scale == "test" else w.n
+    vm = RVM(Config(enable_deoptless=True))
+    vm.eval(VOLCANO_SOURCE)
+    vm.eval("vw <- %dL\nvh <- %dL\nhm_dbl <- volcano_heightmap(vw, vh)" % (n, n))
+    for _ in range(3):
+        vm.eval("volcano_frame(hm_dbl, vw, vh, 1.0, 0.6, interp_bilinear)")
+    benchmark(vm.eval, "volcano_frame(hm_dbl, vw, vh, 1.0, 0.6, interp_bilinear)")

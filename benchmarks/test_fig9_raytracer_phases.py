@@ -1,0 +1,37 @@
+"""Figure 9 — ray tracings with a deoptimization at iteration 5.
+
+Three variants, each 2×5 iterations with a phase change in the middle:
+height-map type change (simplified and full kernels) and an interpolation
+function change.  The paper's observation: "deoptless consistently
+alleviates the slowdown caused by deoptimization."
+"""
+
+from conftest import bench_scale, report
+from repro.bench.figures import fig9_raytracer_phases
+
+
+def test_fig9_shape(bench_scale):
+    res = fig9_raytracer_phases(scale=bench_scale, iterations=5)
+    report("Figure 9: ray tracer phase changes", res.report())
+
+    for name, (normal, deoptless) in res.variants.items():
+        # the phase change produced deopt events in the normal run
+        assert normal.total_deopts() > 0, "%s: no deopt happened" % name
+        # deoptless handled them by dispatching
+        assert deoptless.records[-1].deoptless_dispatches > 0, name
+
+        # the recovery iteration (first of phase 2) plus the stable tail:
+        # deoptless must not be slower overall in the second phase
+        second_phase = [p for p in (r.phase for r in normal.records)][-1]
+        n_stable = normal.stable_time(second_phase, skip=1)
+        d_stable = deoptless.stable_time(second_phase, skip=1)
+        assert d_stable <= n_stable * 1.3, (
+            "%s: deoptless stable phase-2 slower than normal (%.4f vs %.4f)"
+            % (name, d_stable, n_stable)
+        )
+
+    # the interpolation-change variant is the paper's headline case: the
+    # normal config generalizes the call site while deoptless keeps both
+    # targets specialized
+    normal, deoptless = res.variants["interpolation change"]
+    assert deoptless.stable_cycles("nearest", skip=1) <= normal.stable_cycles("nearest", skip=1) * 1.2

@@ -1,0 +1,81 @@
+"""Inspect a function across all compilation tiers.
+
+    python examples/jit_inspector.py
+
+Shows, for the paper's sum function: the bytecode the baseline interpreter
+runs, the collected type feedback, the speculative IR (with Assume guards
+and FrameStates), the lowered register code, and the deoptless dispatch
+table after a phase change.
+"""
+
+from repro import Config, RVM
+from repro.bytecode.opcodes import disassemble as bc_disassemble
+from repro.ir.builder import GraphBuilder
+from repro.ir.cfg import print_graph
+from repro.native.ops import disassemble as native_disassemble
+
+SRC = """
+sumfn <- function(data, len) {
+  total <- 0
+  for (i in 1:len) total <- total + data[[i]]
+  total
+}
+"""
+
+
+def main() -> None:
+    vm = RVM(Config(enable_deoptless=True, compile_threshold=3))
+    vm.eval(SRC)
+    clo = vm.global_env.get("sumfn")
+
+    print("=" * 70)
+    print("1. BYTECODE (the profiling baseline tier)")
+    print("=" * 70)
+    print(bc_disassemble(clo.code))
+
+    # warm up on doubles so the profile has something to say
+    vm.eval("x <- c(1.5, 2.5, 3.5)")
+    for _ in range(6):
+        vm.eval("sumfn(x, 3L)")
+
+    print()
+    print("=" * 70)
+    print("2. TYPE FEEDBACK (collected by the interpreter)")
+    print("=" * 70)
+    for pc in sorted(clo.code.feedback):
+        print("  pc %3d: %r" % (pc, clo.code.feedback[pc]))
+
+    print()
+    print("=" * 70)
+    print("3. SPECULATIVE IR (Assume guards reference FrameStates)")
+    print("=" * 70)
+    graph = GraphBuilder(vm, clo.code, clo).build()
+    print(print_graph(graph))
+
+    print()
+    print("=" * 70)
+    print("4. NATIVE REGISTER CODE (the optimized tier)")
+    print("=" * 70)
+    print(native_disassemble(clo.jit.version))
+
+    # provoke a deoptless dispatch
+    vm.eval("xi <- c(1L, 2L, 3L)")
+    vm.eval("sumfn(xi, 3L)")
+    print()
+    print("=" * 70)
+    print("5. DEOPTLESS DISPATCH TABLE after the int phase change")
+    print("=" * 70)
+    for ctx, ncode in clo.jit.deoptless_table.entries:
+        print("  %r\n    -> %r" % (ctx, ncode))
+
+    print()
+    print("=" * 70)
+    print("6. EVENT LOG")
+    print("=" * 70)
+    for e in vm.state.events:
+        details = {k: v for k, v in e.details.items()}
+        print("  %-20s %-10s %s" % (e.kind, e.fn_name, details))
+
+
+if __name__ == "__main__":
+    main()

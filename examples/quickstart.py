@@ -1,0 +1,58 @@
+"""Quickstart: run mini-R code on the deoptless VM.
+
+    python examples/quickstart.py
+
+Builds a VM, defines and calls R functions, moves values across the
+Python/R boundary, and peeks at the JIT telemetry.
+"""
+
+from repro import Config, RVM, from_r, to_r
+
+
+def main() -> None:
+    # a VM with the optimizing JIT and deoptless enabled
+    vm = RVM(Config(enable_deoptless=True))
+
+    # define and call functions -------------------------------------------------
+    vm.eval("""
+fib <- function(n) if (n < 2L) n else fib(n - 1L) + fib(n - 2L)
+""")
+    print("fib(20L) =", from_r(vm.eval("fib(20L)")))
+
+    # vectors, loops, subscripts -------------------------------------------------
+    vm.eval("""
+normalize <- function(v) {
+  n <- length(v)
+  total <- 0
+  for (i in 1:n) total <- total + v[[i]]
+  out <- numeric(n)
+  for (i in 1:n) out[[i]] <- v[[i]] / total
+  out
+}
+""")
+    data = to_r([2.0, 3.0, 5.0])
+    print("normalize(c(2,3,5)) =", from_r(vm.call("normalize", data)))
+
+    # the function warms up in the interpreter, then tiers up --------------------
+    vm.eval("x <- numeric(1000)\nfor (i in 1:1000) x[[i]] <- i * 0.5")
+    for _ in range(4):
+        vm.eval("normalize(x)")
+    snap = vm.state.snapshot()
+    print("\nafter warmup: %d native compilations, %d interpreter ops, "
+          "%d native ops" % (snap["compiles"], snap["interp_ops"], snap["native_ops"]))
+
+    # a type change triggers speculation machinery -------------------------------
+    vm.eval("xi <- integer(1000)\nfor (i in 1:1000) xi[[i]] <- i")
+    vm.eval("normalize(xi)")
+    snap = vm.state.snapshot()
+    print("after an integer vector showed up: %d deopts, "
+          "%d deoptless dispatches (the float code was NOT thrown away)"
+          % (snap["deopts"], snap["deoptless_dispatches"]))
+
+    # captured program output ----------------------------------------------------
+    vm.eval('cat("hello from mini-R\\n")')
+    print("R said:", vm.output[-1].strip())
+
+
+if __name__ == "__main__":
+    main()

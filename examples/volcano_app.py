@@ -1,0 +1,65 @@
+"""The volcano ray-tracing "shiny app" session (paper Figures 7-8).
+
+    python examples/volcano_app.py
+
+Replays a recorded user session — moving the sun, switching interpolation
+functions, changing render options — over the mini-R ray tracer, printing
+an ASCII rendering of each frame plus the frame time under deoptless.
+"""
+
+import time
+
+from repro import Config, RVM, from_r
+from repro.bench.figures import VOLCANO_SESSION
+from repro.bench.programs.volcano import VOLCANO_SOURCE
+
+SIZE = 28
+
+
+def ascii_frame(img, hm, w, h) -> str:
+    """Shade characters by light and elevation, like the paper's Figure 7."""
+    ramp = " .:-=+*#%@"
+    lines = []
+    for y in range(h):
+        row = []
+        for x in range(w):
+            i = y * w + x
+            lit = img[i]
+            elev = hm[i]
+            level = int(max(0.0, min(9.0, (elev - 20.0) / 18.0)))
+            ch = ramp[level] if lit > 0.5 else " "
+            row.append(ch)
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    vm = RVM(Config(enable_deoptless=True))
+    vm.eval(VOLCANO_SOURCE)
+    vm.eval("vw <- %dL\nvh <- %dL\nhm_dbl <- volcano_heightmap(vw, vh)" % (SIZE, SIZE))
+    vm.eval("sunx <- 1.0; suny <- 0.6; cur_interp <- interp_bilinear; cur_scale <- 1.0")
+    hm = from_r(vm.eval("hm_dbl"))
+
+    for step, (desc, setup, frames) in enumerate(VOLCANO_SESSION):
+        if setup:
+            vm.eval(setup)
+        for f in range(frames):
+            t0 = time.perf_counter()
+            vm.eval("img <- trace_rays(hm_dbl, vw, vh, sunx, suny, 0.35, cur_interp)")
+            vm.eval("buckets <- render_image(img, hm_dbl, vw, vh, cur_scale)")
+            dt = time.perf_counter() - t0
+            if f == frames - 1:  # show the settled frame per interaction
+                img = from_r(vm.eval("img"))
+                print("\n== %s  (frame time %.1fms, deopts so far: %d, "
+                      "deoptless dispatches: %d)" % (
+                          desc, dt * 1e3, vm.state.deopts,
+                          vm.state.deoptless_dispatches))
+                print(ascii_frame(img, hm, SIZE, SIZE))
+
+    snap = vm.state.snapshot()
+    print("\nsession totals:", {k: snap[k] for k in (
+        "compiles", "deopts", "deoptless_compiles", "deoptless_dispatches")})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""setuptools shim.
+
+Kept alongside pyproject.toml so that fully offline environments (where
+pip's build isolation cannot fetch setuptools/wheel) can still install with
+``pip install -e . --no-build-isolation`` or ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

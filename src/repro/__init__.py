@@ -1,0 +1,39 @@
+"""repro — a reproduction of "Deoptless: Speculation with Dispatched
+On-Stack Replacement and Specialized Continuations" (PLDI 2022).
+
+The package implements a complete two-tier VM for mini-R (an R subset):
+
+* a profiling bytecode interpreter (:mod:`repro.bytecode`),
+* a speculative optimizing compiler with Assume/FrameState metadata
+  (:mod:`repro.ir`, :mod:`repro.opt`) lowered to a register machine
+  (:mod:`repro.native`),
+* OSR-out (deoptimization) and OSR-in (:mod:`repro.osr`), and
+* **deoptless** — dispatched OSR with specialized continuations
+  (:mod:`repro.deoptless`), the paper's contribution.
+
+Quickstart::
+
+    from repro import RVM, Config
+    vm = RVM(Config(enable_deoptless=True))
+    vm.eval("f <- function(x) x + 1")
+    print(vm.eval("f(41)"))
+"""
+
+from .api import from_r, to_r
+from .jit.config import Config, CostModel
+from .jit.vm import RVM
+from .runtime.values import NULL, RError, RVector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Config",
+    "CostModel",
+    "NULL",
+    "RError",
+    "RVM",
+    "RVector",
+    "from_r",
+    "to_r",
+    "__version__",
+]

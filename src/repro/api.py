@@ -1,0 +1,70 @@
+"""Convenience conversions between Python and mini-R values.
+
+The public API (``RVM.call``, benchmark harnesses, tests) moves values
+across the boundary with :func:`to_r` / :func:`from_r`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from .runtime.rtypes import Kind
+from .runtime.values import NULL, RNull, RVector
+
+
+def to_r(value: Any) -> Any:
+    """Convert a Python value to a mini-R runtime value.
+
+    bool/int/float/complex/str become scalars; homogeneous lists become
+    vectors; None becomes NULL; runtime values pass through.
+    """
+    if value is None:
+        return NULL
+    if isinstance(value, (RVector, RNull)):
+        return value
+    if isinstance(value, bool):
+        return RVector(Kind.LGL, [value])
+    if isinstance(value, int):
+        return RVector(Kind.INT, [value])
+    if isinstance(value, float):
+        return RVector(Kind.DBL, [value])
+    if isinstance(value, complex):
+        return RVector(Kind.CPLX, [value])
+    if isinstance(value, str):
+        return RVector(Kind.STR, [value])
+    if isinstance(value, (list, tuple)):
+        return _seq_to_r(list(value))
+    raise TypeError("cannot convert %r to a mini-R value" % (value,))
+
+
+def _seq_to_r(items: List[Any]) -> RVector:
+    if not items:
+        return RVector(Kind.LGL, [])
+    if all(isinstance(x, bool) for x in items):
+        return RVector(Kind.LGL, items)
+    if all(isinstance(x, int) and not isinstance(x, bool) for x in items):
+        return RVector(Kind.INT, items)
+    if all(isinstance(x, (int, float)) and not isinstance(x, bool) for x in items):
+        return RVector(Kind.DBL, [float(x) for x in items])
+    if all(isinstance(x, (int, float, complex)) and not isinstance(x, bool) for x in items):
+        return RVector(Kind.CPLX, [complex(x) for x in items])
+    if all(isinstance(x, str) for x in items):
+        return RVector(Kind.STR, items)
+    return RVector(Kind.LIST, [to_r(x) for x in items])
+
+
+def from_r(value: Any) -> Any:
+    """Convert a mini-R runtime value back to plain Python.
+
+    Scalars unwrap to Python scalars; vectors become lists; NULL becomes
+    None.  NA elements are returned as None.
+    """
+    if isinstance(value, RNull):
+        return None
+    if isinstance(value, RVector):
+        if value.kind == Kind.LIST:
+            return [from_r(x) for x in value.data]
+        if len(value.data) == 1:
+            return value.data[0]
+        return list(value.data)
+    return value

@@ -1,0 +1,10 @@
+"""Evaluation substrate: workloads, the phase harness, and one driver per
+paper table/figure (see :mod:`repro.bench.figures`)."""
+
+from .harness import Phase, RunResult, compare_phases, geomean, run_phases
+from .workload import REGISTRY, Workload
+
+__all__ = [
+    "Phase", "REGISTRY", "RunResult", "Workload", "compare_phases",
+    "geomean", "run_phases",
+]

@@ -1,0 +1,77 @@
+"""Regenerate the paper's evaluation from the command line.
+
+    python -m repro.bench                     # everything, test scale
+    python -m repro.bench --scale full        # paper-sized runs (minutes)
+    python -m repro.bench --only fig4,fig10   # a subset
+
+Prints the same tables the figures in the paper plot; see EXPERIMENTS.md
+for the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import figures as F
+
+#: figure id -> (description, runner)
+RUNNERS = {
+    "fig4": ("sum() over int/float/complex/float phases",
+             lambda scale: F.fig4_sum_phases(scale=scale).report()),
+    "fig6": ("speedup under randomly failing assumptions",
+             lambda scale: F.fig6_misspeculation(
+                 scale=scale,
+                 chaos_rate=1e-4 if scale == "full" else 1e-3,
+                 iterations=30 if scale == "full" else 10,
+                 warmup=5 if scale == "full" else 2,
+             ).report()),
+    "mem": ("section 5.1 memory usage",
+            lambda scale: F.memory_usage(
+                scale=scale,
+                chaos_rate=1e-4 if scale == "full" else 1e-3,
+                iterations=30 if scale == "full" else 10,
+                warmup=5 if scale == "full" else 2,
+            ).report()),
+    "fig8": ("volcano app interactive session",
+             lambda scale: F.fig8_volcano_app(scale=scale).report()),
+    "fig9": ("ray tracings with deoptimization at iteration 5",
+             lambda scale: F.fig9_raytracer_phases(scale=scale).report()),
+    "fig10": ("column-wise sum over a table",
+              lambda scale: F.fig10_colsum(scale=scale).report()),
+    "fig11": ("versus profile-driven reoptimization",
+              lambda scale: F.fig11_reopt(scale=scale).report()),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="regenerate the Deoptless paper's evaluation",
+    )
+    parser.add_argument("--scale", choices=("test", "full"), default="test")
+    parser.add_argument(
+        "--only", default=None,
+        help="comma-separated subset of: %s" % ",".join(RUNNERS),
+    )
+    args = parser.parse_args(argv)
+
+    selected = list(RUNNERS) if args.only is None else args.only.split(",")
+    unknown = [s for s in selected if s not in RUNNERS]
+    if unknown:
+        parser.error("unknown figure ids: %s" % ", ".join(unknown))
+
+    for fid in selected:
+        desc, runner = RUNNERS[fid]
+        print("=" * 72)
+        print("%s — %s (scale=%s)" % (fid, desc, args.scale))
+        print("=" * 72)
+        t0 = time.time()
+        print(runner(args.scale))
+        print("[%s took %.1fs]\n" % (fid, time.time() - t0))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

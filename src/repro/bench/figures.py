@@ -1,0 +1,438 @@
+"""Drivers that regenerate every table and figure of the paper's evaluation.
+
+Each ``fig*`` function runs the corresponding experiment at a chosen scale
+and returns a structured result (plus a printable report).  The benchmark
+suite under ``benchmarks/`` calls these and asserts the qualitative shape
+of each result (who wins, roughly by how much, where the crossovers fall);
+EXPERIMENTS.md records paper-vs-measured numbers.
+
+Scales: ``"test"`` (seconds, used by pytest) and ``"full"`` (minutes,
+closer to the paper's sizes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..jit.config import Config
+from ..jit.vm import RVM
+from . import programs  # populates the registry
+from .harness import Phase, RunResult, compare_phases, geomean, run_phases
+from .workload import REGISTRY
+
+
+def _n(workload, scale: str) -> int:
+    return workload.n if scale == "full" else workload.n_test
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — sum() over int -> float -> complex -> float phases
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig4Result:
+    normal: RunResult
+    deoptless: RunResult
+
+    def report(self) -> str:
+        from .harness import format_series_table
+
+        return format_series_table([self.normal, self.deoptless])
+
+
+def fig4_sum_phases(scale: str = "test", iterations: int = 5) -> Fig4Result:
+    from .programs.paper_examples import SUM_PHASE_SETUPS, SUM_SOURCE
+
+    w = REGISTRY.get("sum_phases")
+    n = _n(w, scale)
+    phases = [
+        Phase("int", ("length <- %dL\n" % n) + SUM_PHASE_SETUPS["int"].format(n=n), "sum()", iterations),
+        Phase("float", SUM_PHASE_SETUPS["float"].format(n=n), "sum()", iterations),
+        Phase("complex", SUM_PHASE_SETUPS["complex"].format(n=n), "sum()", iterations),
+        Phase("float2", SUM_PHASE_SETUPS["float"].format(n=n), "sum()", iterations),
+    ]
+    normal, deoptless = compare_phases(SUM_SOURCE, phases)
+    return Fig4Result(normal, deoptless)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — speedup under randomly failing assumptions (1 in 10k)
+# ---------------------------------------------------------------------------
+
+#: the suite used for the mis-speculation experiment (paper: the Ř main
+#: benchmark suite; nbody_naive is reported separately there, as here)
+FIG6_SUITE = [
+    "binarytrees", "bounce", "fannkuchredux", "flexclust", "mandelbrot",
+    "nbody", "pidigits", "primes", "spectralnorm", "storage",
+]
+
+
+@dataclass
+class Fig6Row:
+    name: str
+    speedup: float
+    per_iteration: List[float]
+    normal_deopts: int
+    deoptless_dispatches: int
+    mem_normal: float
+    mem_deoptless: float
+    #: interpreter-op share: how much execution fell back to the slow tier
+    interp_ops_normal: int = 0
+    interp_ops_deoptless: int = 0
+
+
+@dataclass
+class Fig6Result:
+    rows: List[Fig6Row]
+    chaos_rate: float
+
+    def report(self) -> str:
+        lines = [
+            "Figure 6: deoptless speedup with randomly failing assumptions "
+            "(rate %g)" % self.chaos_rate,
+            "%-16s %9s %8s %9s %10s" % ("benchmark", "speedup", "deopts", "dispatch", "mem ratio"),
+        ]
+        for r in self.rows:
+            lines.append("%-16s %8.2fx %8d %9d %9.2f" % (
+                r.name, r.speedup, r.normal_deopts, r.deoptless_dispatches,
+                r.mem_deoptless / r.mem_normal if r.mem_normal else float("nan"),
+            ))
+        lines.append("geomean speedup: %.2fx" % geomean([r.speedup for r in self.rows]))
+        return "\n".join(lines)
+
+
+def fig6_misspeculation(
+    scale: str = "test",
+    iterations: int = 8,
+    warmup: int = 2,
+    chaos_rate: float = 1e-4,
+    names: Optional[Sequence[str]] = None,
+    seed: int = 42,
+) -> Fig6Result:
+    rows = []
+    for name in (names or FIG6_SUITE):
+        w = REGISTRY.get(name)
+        n = _n(w, scale)
+        phases = [Phase("chaos", "", w.call_code(n), iterations)]
+        base = Config(chaos_rate=chaos_rate, chaos_seed=seed)
+        normal = run_phases(
+            dataclasses.replace(base, enable_deoptless=False),
+            w.source, phases, "normal", global_setup=w.setup_code(n),
+        )
+        deoptless = run_phases(
+            dataclasses.replace(base, enable_deoptless=True),
+            w.source, phases, "deoptless", global_setup=w.setup_code(n),
+        )
+        per_iter = []
+        for a, b in zip(normal.records[warmup:], deoptless.records[warmup:]):
+            if b.wall_s > 0:
+                per_iter.append(a.wall_s / b.wall_s)
+        rows.append(Fig6Row(
+            name=name,
+            speedup=geomean(per_iter),
+            per_iteration=per_iter,
+            normal_deopts=normal.total_deopts(),
+            deoptless_dispatches=deoptless.records[-1].deoptless_dispatches,
+            mem_normal=normal.vm.state.memory_proxy(),
+            mem_deoptless=deoptless.vm.state.memory_proxy(),
+            interp_ops_normal=normal.vm.state.interp_ops,
+            interp_ops_deoptless=deoptless.vm.state.interp_ops,
+        ))
+    return Fig6Result(rows, chaos_rate)
+
+
+# ---------------------------------------------------------------------------
+# Figures 8 & 9 — the volcano ray-tracing app
+# ---------------------------------------------------------------------------
+
+#: the recorded interactive session for Figure 8: (description, setup, n_frames).
+#: Interactions switch the interpolation function (ray-tracer deopts) and
+#: the elevation scale's type (renderer deopts) — the two user-driven
+#: unpredictability sources the paper describes.
+VOLCANO_SESSION = [
+    ("open app", "", 3),
+    ("move sun", "sunx <- 0.4; suny <- 1.0", 2),
+    ("switch interp -> nearest", "cur_interp <- interp_nearest", 3),
+    ("set elevation scale 1.1", "cur_scale <- 1.1", 2),
+    ("switch interp -> bilinear", "cur_interp <- interp_bilinear", 3),
+    ("set elevation scale 1L", "cur_scale <- 1L", 2),
+    ("switch interp -> nearest", "cur_interp <- interp_nearest", 3),
+    ("set elevation scale 0.9", "cur_scale <- 0.9", 2),
+]
+
+
+@dataclass
+class Fig8Step:
+    interaction: str
+    trace_speedup: float
+    render_speedup: float
+
+
+@dataclass
+class Fig8Result:
+    steps: List[Fig8Step]
+
+    def report(self) -> str:
+        lines = [
+            "Figure 8: volcano app interactive session (deoptless speedup)",
+            "%-28s %12s %12s" % ("interaction", "ray-tracing", "rendering"),
+        ]
+        for s in self.steps:
+            lines.append("%-28s %11.2fx %11.2fx" % (s.interaction, s.trace_speedup, s.render_speedup))
+        return "\n".join(lines)
+
+
+def _volcano_session_run(config: Config, scale: str) -> List[Tuple[str, float, float]]:
+    from .programs.volcano import VOLCANO_SOURCE
+
+    w = REGISTRY.get("volcano")
+    n = _n(w, scale)
+    vm = RVM(config)
+    vm.eval(VOLCANO_SOURCE)
+    vm.eval("vw <- %dL\nvh <- %dL\nhm_dbl <- volcano_heightmap(vw, vh)" % (n, n))
+    vm.eval("sunx <- 1.0; suny <- 0.6; cur_interp <- interp_bilinear; cur_scale <- 1.0")
+    out = []
+    for desc, setup, frames in VOLCANO_SESSION:
+        if setup:
+            vm.eval(setup)
+        for _ in range(frames):
+            t0 = time.perf_counter()
+            vm.eval("img <- trace_rays(hm_dbl, vw, vh, sunx, suny, 0.35, cur_interp)")
+            t_trace = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            vm.eval("render_image(img, hm_dbl, vw, vh, cur_scale)")
+            t_render = time.perf_counter() - t0
+            out.append((desc, t_trace, t_render))
+    return out
+
+
+def fig8_volcano_app(scale: str = "test") -> Fig8Result:
+    normal = _volcano_session_run(Config(enable_deoptless=False), scale)
+    deoptless = _volcano_session_run(Config(enable_deoptless=True), scale)
+    steps = []
+    for (desc, tn, rn), (_, td, rd) in zip(normal, deoptless):
+        steps.append(Fig8Step(desc, tn / td if td > 0 else float("nan"),
+                              rn / rd if rd > 0 else float("nan")))
+    return Fig8Result(steps)
+
+
+@dataclass
+class Fig9Result:
+    #: per-variant (name -> (normal series, deoptless series))
+    variants: Dict[str, Tuple[RunResult, RunResult]]
+
+    def report(self) -> str:
+        from .harness import format_series_table
+
+        parts = ["Figure 9: ray tracer with a phase change at iteration 5"]
+        for name, (n, d) in self.variants.items():
+            parts.append("-- %s" % name)
+            parts.append(format_series_table([n, d]))
+        return "\n".join(parts)
+
+
+def fig9_raytracer_phases(scale: str = "test", iterations: int = 5) -> Fig9Result:
+    """Three experiments, phase change mid-run (paper: at iteration 5 of 10):
+    height-map type change (simplified + full) and interpolation change."""
+    from .programs.volcano import VOLCANO_SOURCE
+
+    w = REGISTRY.get("volcano")
+    n = _n(w, scale)
+    setup = "vw <- %dL\nvh <- %dL\nhm_dbl <- volcano_heightmap(vw, vh)\nhm_int <- volcano_heightmap_int(vw, vh)" % (n, n)
+
+    variants = {}
+    # (a) simplified: the manually inlined kernel (as in the paper), height
+    # map dbl -> int
+    phases_a = [
+        Phase("dbl", "", "trace_rays_inline(hm_dbl, vw, vh, 1.0, 0.6, 0.35)", iterations),
+        Phase("int", "", "trace_rays_inline(hm_int, vw, vh, 1.0, 0.6, 0.35)", iterations),
+    ]
+    variants["heightmap type (simplified)"] = compare_phases(
+        VOLCANO_SOURCE, phases_a, global_setup=setup)
+    # (b) full: bilinear interpolation, height map dbl -> int
+    phases_b = [
+        Phase("dbl", "", "volcano_frame(hm_dbl, vw, vh, 1.0, 0.6, interp_bilinear)", iterations),
+        Phase("int", "", "volcano_frame(hm_int, vw, vh, 1.0, 0.6, interp_bilinear)", iterations),
+    ]
+    variants["heightmap type (full)"] = compare_phases(
+        VOLCANO_SOURCE, phases_b, global_setup=setup)
+    # (c) interpolation function change
+    phases_c = [
+        Phase("bilinear", "", "volcano_frame(hm_dbl, vw, vh, 1.0, 0.6, interp_bilinear)", iterations),
+        Phase("nearest", "", "volcano_frame(hm_dbl, vw, vh, 1.0, 0.6, interp_nearest)", iterations),
+    ]
+    variants["interpolation change"] = compare_phases(
+        VOLCANO_SOURCE, phases_c, global_setup=setup)
+    return Fig9Result(variants)
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — colsum
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig10Result:
+    normal: RunResult
+    deoptless: RunResult
+    stable_speedup: float
+
+    def report(self) -> str:
+        from .harness import format_series_table
+
+        return (
+            "Figure 10: column-wise sum, per-column times of f\n"
+            + format_series_table([self.normal, self.deoptless])
+            + "\nstable-iteration speedup: %.1fx" % self.stable_speedup
+        )
+
+
+def fig10_colsum(scale: str = "test", iterations_per_phase: int = 4) -> Fig10Result:
+    """Times individual calls of ``f``: warmup on integer columns, then a
+    float column appears (paper: at iteration 5), then alternation."""
+    from .programs.paper_examples import COLSUM_SOURCE
+
+    w = REGISTRY.get("colsum")
+    rows = _n(w, scale)
+    setup = """
+rows <- %dL
+int_col <- integer(rows); for (ri in 1:rows) int_col[[ri]] <- ri
+dbl_col <- numeric(rows); for (ri in 1:rows) dbl_col[[ri]] <- ri * 0.5
+tbl <- list(int_col, dbl_col)
+cols <- 2L
+""" % rows
+    phases = [
+        Phase("int", "", "f(1L, tbl)", iterations_per_phase),
+        Phase("float", "", "f(2L, tbl)", iterations_per_phase),
+        Phase("int2", "", "f(1L, tbl)", iterations_per_phase),
+        Phase("float2", "", "f(2L, tbl)", iterations_per_phase),
+    ]
+    normal, deoptless = compare_phases(COLSUM_SOURCE, phases, global_setup=setup)
+    stable_n = min(normal.stable_time("int2"), normal.stable_time("float2"))
+    stable_d = min(deoptless.stable_time("int2"), deoptless.stable_time("float2"))
+    worst_n = max(normal.stable_time("int2"), normal.stable_time("float2"))
+    speedup = worst_n / max(stable_d, 1e-12)
+    return Fig10Result(normal, deoptless, speedup)
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — versus profile-driven reoptimization
+# ---------------------------------------------------------------------------
+
+#: speedups reported by the reoptimization paper [14], for the report table
+REOPT_PAPER_SPEEDUPS = {"microbenchmark": 1.2, "rsa": 1.4, "shared function": 1.5}
+
+
+@dataclass
+class Fig11Row:
+    name: str
+    deoptless_speedup: float
+    reopt_paper_speedup: float
+    deopts_normal: int
+
+
+@dataclass
+class Fig11Result:
+    rows: List[Fig11Row]
+
+    def report(self) -> str:
+        lines = [
+            "Figure 11: deoptless vs profile-driven reoptimization [14]",
+            "%-18s %18s %24s %8s" % ("benchmark", "deoptless speedup", "reopt paper (best case)", "deopts"),
+        ]
+        for r in self.rows:
+            lines.append("%-18s %17.2fx %23.2fx %8d" % (
+                r.name, r.deoptless_speedup, r.reopt_paper_speedup, r.deopts_normal))
+        return "\n".join(lines)
+
+
+def fig11_reopt(scale: str = "test", iterations: int = 6) -> Fig11Result:
+    rows = []
+
+    # (1) stale type-feedback microbenchmark: warmup alternates types so the
+    # kernel compiles generically; the long phase is then double-only.  No
+    # deopt accompanies the phase change -> deoptless cannot improve it.
+    w = REGISTRY.get("reopt_stale_feedback")
+    n = _n(w, scale)
+    phases = [
+        # one int call then one dbl call per iteration: the kernel's feedback
+        # is polymorphic before it is first compiled, so the later phase
+        # change is NOT accompanied by a deopt (the [14] scenario)
+        Phase("mixed", "", "stale_run(sf_int, sf_n, 2L, 1L) + stale_run(sf_dbl, sf_n, 2.0, 1L)", 3),
+        Phase("stable", "", "stale_run(sf_dbl, sf_n, 2.0, 4L)", iterations),
+    ]
+    normal, deoptless = compare_phases(w.source, phases, global_setup=w.setup_code(n))
+    rows.append(Fig11Row(
+        "microbenchmark",
+        normal.stable_time("stable") / max(deoptless.stable_time("stable"), 1e-12),
+        REOPT_PAPER_SPEEDUPS["microbenchmark"],
+        normal.total_deopts(),
+    ))
+
+    # (2) RSA: the key parameter changes int -> double, triggering a deopt.
+    w = REGISTRY.get("reopt_rsa")
+    n = _n(w, scale)
+    phases = [
+        Phase("int_key", "", "rsa_run(rsa_msgs, rsa_n, rsa_key_int, rsa_mod, 1L)", 4),
+        Phase("dbl_key", "", "rsa_run(rsa_msgs, rsa_n, rsa_key_dbl, rsa_mod, 1L)", iterations),
+    ]
+    normal, deoptless = compare_phases(w.source, phases, global_setup=w.setup_code(n))
+    rows.append(Fig11Row(
+        "rsa",
+        normal.stable_time("dbl_key") / max(deoptless.stable_time("dbl_key"), 1e-12),
+        REOPT_PAPER_SPEEDUPS["rsa"],
+        normal.total_deopts(),
+    ))
+
+    # (3) shared function: both callers alternate throughout; feedback is
+    # merged from the start, nothing ever deopts -> deoptless neutral.
+    w = REGISTRY.get("reopt_shared_function")
+    n = _n(w, scale)
+    phases = [
+        Phase("mixed", "", "shared_run(sh_int, sh_dbl, sh_n, 1L)", 3 + iterations),
+    ]
+    normal, deoptless = compare_phases(w.source, phases, global_setup=w.setup_code(n))
+    rows.append(Fig11Row(
+        "shared function",
+        normal.stable_time("mixed", skip=3) / max(deoptless.stable_time("mixed", skip=3), 1e-12),
+        REOPT_PAPER_SPEEDUPS["shared function"],
+        normal.total_deopts(),
+    ))
+    return Fig11Result(rows)
+
+
+# ---------------------------------------------------------------------------
+# Section 5.1 — memory usage
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MemRow:
+    name: str
+    ratio: float  # deoptless / normal memory proxy
+
+
+@dataclass
+class MemResult:
+    rows: List[MemRow]
+
+    def median_change_pct(self) -> float:
+        rs = sorted(r.ratio for r in self.rows)
+        med = rs[len(rs) // 2]
+        return (med - 1.0) * 100.0
+
+    def report(self) -> str:
+        lines = ["Section 5.1 memory usage (deoptless / normal, proxy = allocations + code)"]
+        for r in self.rows:
+            lines.append("%-16s %8.3f" % (r.name, r.ratio))
+        lines.append("median change: %+.1f%%" % self.median_change_pct())
+        return "\n".join(lines)
+
+
+def memory_usage(scale: str = "test", **kw) -> MemResult:
+    fig6 = fig6_misspeculation(scale=scale, **kw)
+    return MemResult([
+        MemRow(r.name, r.mem_deoptless / r.mem_normal if r.mem_normal else float("nan"))
+        for r in fig6.rows
+    ])

@@ -1,0 +1,8 @@
+"""mini-R benchmark programs; importing this package populates the workload
+registry (``repro.bench.workload.REGISTRY``)."""
+
+from . import paper_examples, reopt, suite, volcano  # noqa: F401
+
+from ..workload import REGISTRY
+
+__all__ = ["REGISTRY"]

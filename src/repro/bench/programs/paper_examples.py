@@ -1,0 +1,83 @@
+"""The paper's own example programs.
+
+* ``sum_phases`` — Listing 1: a naive vector sum run over phases whose
+  element type changes integer → double → complex → double (Figure 4).
+* ``colsum`` — Listing 8: column-wise sum of a table with alternating
+  double and integer columns (Figure 10).
+"""
+
+from __future__ import annotations
+
+from ..workload import REGISTRY, Workload
+
+#: Listing 1 — the running example of the paper (`data` and `length` are
+#: globals, exactly as printed there).
+SUM_SOURCE = """
+sum <- function() {
+  total <- 0
+  for (i in 1:length) total <- total + data[[i]]
+  total
+}
+"""
+
+REGISTRY.add(Workload(
+    name="sum_phases",
+    source=SUM_SOURCE,
+    setup="""
+length <- {n}L
+data <- integer({n}L)
+for (i in 1:{n}L) data[[i]] <- i
+""",
+    call="sum()",
+    n=4000,
+    n_test=200,
+    notes="phases switch the type of `data`; see bench.figures.fig4",
+))
+
+#: the setup statements the figure-4 harness uses to switch phases
+SUM_PHASE_SETUPS = {
+    "int": "data <- integer({n}L)\nfor (i in 1:{n}L) data[[i]] <- i",
+    "float": "data <- numeric({n}L)\nfor (i in 1:{n}L) data[[i]] <- i * 1.5",
+    "complex": "data <- complex({n}L)\nfor (i in 1:{n}L) data[[i]] <- complex(i * 1.0, 1.0)",
+}
+
+
+#: Listing 8 — column-wise sum over a "table" (a list of column vectors).
+COLSUM_SOURCE = """
+f <- function(colIndex, t) {
+  dataCol <- t[[colIndex]]
+  res <- 0
+  for (i in 1:length(dataCol)) res <- res + dataCol[[i]]
+  res
+}
+
+columnwiseSum <- function(t) {
+  res <- c()
+  for (i in 1L:cols) res[[i]] <- f(i, t)
+  res
+}
+"""
+
+REGISTRY.add(Workload(
+    name="colsum",
+    source=COLSUM_SOURCE,
+    setup="""
+cols <- 50L
+rows <- {n}L
+tbl <- list()
+for (ci in 1L:cols) {{
+  if (ci %% 2L == 0L) {{
+    col <- numeric(rows)
+    for (ri in 1:rows) col[[ri]] <- ri * 0.5
+  }} else {{
+    col <- integer(rows)
+    for (ri in 1:rows) col[[ri]] <- ri
+  }}
+  tbl[[ci]] <- col
+}}
+""",
+    call="columnwiseSum(tbl)",
+    n=2000,
+    n_test=50,
+    notes="paper: 50 columns x 10M rows; scaled to rows={n} (shape preserved)",
+))

@@ -1,0 +1,60 @@
+"""Workload descriptions for the evaluation harness.
+
+A :class:`Workload` bundles the mini-R source of a benchmark, its setup
+code, the expression to time per iteration, and a scaling knob so tests can
+run the same programs at a fraction of the benchmark size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+
+@dataclass
+class Workload:
+    #: short identifier (used in reports, matches the paper's names)
+    name: str
+    #: mini-R source defining the benchmark's functions (evaluated once)
+    source: str
+    #: mini-R setup statement(s); may use {n} for the scale parameter
+    setup: str
+    #: mini-R expression evaluated per timed iteration; may use {n}
+    call: str
+    #: default problem size
+    n: int
+    #: problem size for quick test runs
+    n_test: int
+    #: optional function from (result, vm) -> value used to sanity-check runs
+    check: Optional[Callable] = None
+    notes: str = ""
+
+    def setup_code(self, n: Optional[int] = None) -> str:
+        return self.setup.format(n=n if n is not None else self.n)
+
+    def call_code(self, n: Optional[int] = None) -> str:
+        return self.call.format(n=n if n is not None else self.n)
+
+
+class Registry:
+    def __init__(self) -> None:
+        self._workloads: Dict[str, Workload] = {}
+
+    def add(self, w: Workload) -> Workload:
+        if w.name in self._workloads:
+            raise ValueError("duplicate workload %r" % w.name)
+        self._workloads[w.name] = w
+        return w
+
+    def get(self, name: str) -> Workload:
+        return self._workloads[name]
+
+    def names(self):
+        return sorted(self._workloads)
+
+    def all(self):
+        return [self._workloads[k] for k in self.names()]
+
+
+#: the global registry; populated by the modules in bench.programs
+REGISTRY = Registry()

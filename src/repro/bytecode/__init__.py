@@ -1,0 +1,12 @@
+"""The baseline tier: stack bytecode, its compiler, and the profiling
+interpreter."""
+
+from .compiler import CodeObject, CompileError, Compiler
+from .feedback import BinopFeedback, BranchFeedback, CallFeedback, ObservedType
+from .interpreter import call_function, force, match_arguments, run
+
+__all__ = [
+    "BinopFeedback", "BranchFeedback", "CallFeedback", "CodeObject",
+    "CompileError", "Compiler", "ObservedType", "call_function", "force",
+    "match_arguments", "run",
+]

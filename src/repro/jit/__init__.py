@@ -1,0 +1,7 @@
+"""VM orchestration: tiering policy, configuration, telemetry."""
+
+from .config import Config, CostModel
+from .telemetry import Event, Telemetry
+from .vm import ClosureJitState, RVM
+
+__all__ = ["ClosureJitState", "Config", "CostModel", "Event", "RVM", "Telemetry"]

@@ -1,0 +1,103 @@
+"""VM configuration.
+
+All knobs of the reproduction in one place.  The deoptless bounds default to
+the paper's values (section 4.3): at most 16 operand stack entries and 32
+environment entries in a dispatchable context, and at most 5 continuations
+per dispatch table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Config:
+    # -- tiering ---------------------------------------------------------------
+    #: enable the optimizing tier at all
+    enable_jit: bool = True
+    #: calls of a closure before it is natively compiled
+    compile_threshold: int = 2
+    #: enable OSR-in (interpreter loop -> native continuation)
+    enable_osr_in: bool = True
+    #: interpreter backedges before OSR-in triggers
+    osr_threshold: int = 1000
+    #: deoptimizations of one closure before the optimizer gives up on it
+    max_deopts_per_function: int = 25
+
+    # -- speculation -----------------------------------------------------------
+    enable_speculation: bool = True
+    enable_cold_branch_speculation: bool = True
+
+    # -- deoptless (the paper's contribution) -----------------------------------
+    enable_deoptless: bool = False
+    #: dispatch-table bound (paper: "only allow up to 5 continuations")
+    deoptless_max_continuations: int = 5
+    #: context bounds (paper: stack <= 16, environment <= 32)
+    deoptless_max_stack: int = 16
+    deoptless_max_env: int = 32
+    #: recompile when the best matching continuation is more than this many
+    #: lattice steps more generic than the current context
+    deoptless_recompile_distance: int = 4
+    #: apply the type-feedback cleanup + inference pass (section 4.3)
+    deoptless_feedback_repair: bool = True
+
+    # -- chaos mode (section 5.1: randomly failing assumptions) ------------------
+    #: probability that any executed Assume triggers a (spurious) deopt
+    chaos_rate: float = 0.0
+    chaos_seed: int = 42
+
+    # -- unsound switches for regression tests ------------------------------------
+    #: scan continuation escape info only from the entry pc (reproduces the
+    #: dead-store/escape unsoundness anecdote of section 4.2)
+    unsound_continuation_escape: bool = False
+    #: unsoundly drop all deoptimization exit points in the backend — the
+    #: paper's section 4.1 code-size experiment ("when we unsoundly dropped
+    #: all deoptimization exit points ... performance was unchanged ...
+    #: an effect on code size with 30%% more LLVM instructions")
+    unsound_drop_deopt_exits: bool = False
+
+    # -- misc ---------------------------------------------------------------------
+    #: run the IR verifier after building and after optimizing (cheap for
+    #: our graph sizes; catches malformed graphs before they execute)
+    verify_ir: bool = True
+    #: capture stdout of R programs into a buffer instead of printing
+    capture_output: bool = True
+
+
+@dataclass
+class CostModel:
+    """Deterministic cycle accounting.
+
+    Wall-clock on the host varies; these weights give a machine-independent
+    "simulated cycles" number with the right relative magnitudes: one
+    specialized native op is the unit, a generic interpreter op costs tens of
+    units (dispatch + boxing + feedback), and compilation costs per IR
+    instruction model the compile pauses visible in the paper's Figures 4/10.
+    """
+
+    native_op: float = 1.0
+    #: extra weight for generic (boxed) native ops on top of native_op:
+    #: a generic arith runs the full coercion dispatch of the runtime
+    generic_op_extra: float = 60.0
+    interp_op: float = 24.0
+    guard: float = 1.0
+    deopt_event: float = 400.0
+    deoptless_dispatch: float = 60.0
+    compile_per_instr: float = 220.0
+
+    def cycles(self, telemetry) -> float:
+        # a dispatched deopt does NOT pay the tier-down penalty: state
+        # extraction + context dispatch is the (much smaller)
+        # deoptless_dispatch cost — the design requirement the paper states
+        # in section 3.2
+        tier_downs = max(0, telemetry.deopts - telemetry.deoptless_dispatches)
+        return (
+            telemetry.native_ops * self.native_op
+            + telemetry.native_generic_ops * self.generic_op_extra
+            + telemetry.interp_ops * self.interp_op
+            + telemetry.guards_executed * self.guard
+            + tier_downs * self.deopt_event
+            + telemetry.deoptless_dispatches * self.deoptless_dispatch
+            + telemetry.compiled_instrs * self.compile_per_instr
+        )

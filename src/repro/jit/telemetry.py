@@ -1,0 +1,97 @@
+"""VM event log and counters.
+
+Everything the evaluation harness reads comes through here: per-tier
+operation counts (for the cost model), compile/deopt/deoptless event
+streams, and memory proxies (vector allocations + compiled code size) for
+the paper's section 5.1 memory experiment.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..runtime.values import RVector
+
+
+@dataclass
+class Event:
+    kind: str
+    fn_name: str
+    details: Dict[str, Any] = field(default_factory=dict)
+    at_ns: int = 0
+
+
+class Telemetry:
+    """Counters + event stream for one VM."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+        self.interp_ops = 0
+        self.native_ops = 0
+        #: subset of native_ops that execute generic (boxed) semantics;
+        #: they carry an extra cost-model weight
+        self.native_generic_ops = 0
+        self.guards_executed = 0
+        self.compiles = 0
+        self.compiled_instrs = 0
+        self.osr_ins = 0
+        self.deopts = 0
+        self.deoptless_dispatches = 0
+        self.deoptless_compiles = 0
+        self.deoptless_misses = 0
+        self.deoptless_bailouts = 0
+        self.compile_failures = 0
+        self.invalidations = 0
+        self._alloc_mark = RVector.allocations
+        #: live compiled code size in native ops (memory proxy)
+        self.code_size = 0
+        #: hot flags mirrored from the config by the VM (read per-op by the
+        #: interpreter's backedge handling)
+        self.osr_in_enabled = False
+        self.osr_threshold = 1 << 30
+
+    # -- events -------------------------------------------------------------------
+
+    def emit(self, kind: str, fn_name: str, **details: Any) -> None:
+        self.events.append(Event(kind, fn_name, details, time.perf_counter_ns()))
+
+    def events_of(self, kind: str) -> List[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+    # -- memory proxy ----------------------------------------------------------------
+
+    def allocations(self) -> int:
+        return RVector.allocations - self._alloc_mark
+
+    def memory_proxy(self) -> float:
+        """Max-RSS stand-in: allocation traffic plus live code size."""
+        return self.allocations() + 64.0 * self.code_size
+
+    # -- reset ----------------------------------------------------------------------
+
+    def reset_counters(self) -> None:
+        self.interp_ops = 0
+        self.native_ops = 0
+        #: subset of native_ops that execute generic (boxed) semantics;
+        #: they carry an extra cost-model weight
+        self.native_generic_ops = 0
+        self.guards_executed = 0
+        self._alloc_mark = RVector.allocations
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "interp_ops": self.interp_ops,
+            "native_ops": self.native_ops,
+            "native_generic_ops": self.native_generic_ops,
+            "guards": self.guards_executed,
+            "compiles": self.compiles,
+            "compiled_instrs": self.compiled_instrs,
+            "osr_ins": self.osr_ins,
+            "deopts": self.deopts,
+            "deoptless_dispatches": self.deoptless_dispatches,
+            "deoptless_compiles": self.deoptless_compiles,
+            "allocations": self.allocations(),
+            "code_size": self.code_size,
+        }

@@ -1,0 +1,293 @@
+"""The virtual machine: tiering, compilation policy, deoptimization.
+
+``RVM`` owns the global environment, the telemetry, and the policy glue:
+
+* **baseline**: every closure starts in the profiling bytecode interpreter;
+* **tier-up**: after ``compile_threshold`` calls a closure is compiled by
+  the optimizing pipeline and subsequent calls run native; hot interpreter
+  loops additionally tier up mid-function through OSR-in;
+* **deopt** (``RVM.deopt``): guard failures arrive here.  With deoptless
+  enabled, the dispatched-OSR engine gets the first shot (paper Listing 6);
+  otherwise — or when it declines — the optimized version is retired and
+  execution resumes in the interpreter (paper Listing 4), which keeps
+  profiling so that a later recompile produces more generic code.  That
+  retire-reprofile-regeneralize loop is exactly the behaviour deoptless is
+  designed to avoid.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from typing import Any, List, Optional
+
+from ..bytecode import interpreter
+from ..bytecode.compiler import CodeObject, Compiler
+from ..deoptless import engine as deoptless_engine
+from ..deoptless.dispatch import DispatchTable
+from ..ir.builder import CompilationFailure, GraphBuilder
+from ..native.executor import execute
+from ..native.lower import NativeCode, lower
+from ..opt.pipeline import optimize
+from ..osr import osr_in, osr_out
+from ..osr.framestate import CATASTROPHIC_REASONS, DeoptReason, DeoptReasonKind, FrameState
+from ..runtime.builtins import install_builtins
+from ..runtime.env import REnvironment
+from ..runtime.values import NULL, RClosure, RError, RPromise, RVector
+from .config import Config, CostModel
+from .telemetry import Telemetry
+
+
+class ClosureJitState:
+    """Per-closure compilation state (hangs off ``RClosure.jit``)."""
+
+    __slots__ = (
+        "call_count", "version", "deoptless_table", "deopt_count",
+        "cant_compile", "default_consts",
+    )
+
+    def __init__(self, max_continuations: int):
+        self.call_count = 0
+        self.version: Optional[NativeCode] = None
+        self.deoptless_table = DispatchTable(max_continuations)
+        self.deopt_count = 0
+        self.cant_compile = False
+        #: positional default values when all defaults are constants
+        self.default_consts: Optional[List[Any]] = None
+
+
+class RVM:
+    """A mini-R virtual machine with a speculative optimizing JIT."""
+
+    def __init__(self, config: Optional[Config] = None):
+        self.config = config or Config()
+        self.state = Telemetry()
+        self.cost_model = CostModel()
+        self.chaos_rng = random.Random(self.config.chaos_seed)
+        self.base_env = REnvironment()
+        install_builtins(self.base_env)
+        self.global_env = REnvironment(parent=self.base_env)
+        self.output: List[str] = []
+        # hot flags read by the interpreter's dispatch loop
+        self.state.osr_in_enabled = self.config.enable_jit and self.config.enable_osr_in
+        self.state.osr_threshold = self.config.osr_threshold
+        if sys.getrecursionlimit() < 20000:
+            sys.setrecursionlimit(20000)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def eval(self, source: str, name: str = "<program>") -> Any:
+        """Parse, compile and run a mini-R program in the global env."""
+        code = Compiler.compile_program(source, name)
+        return interpreter.run(code, self.global_env, self)
+
+    def call(self, fn_name: str, *args: Any) -> Any:
+        """Call a global function with already-constructed runtime values."""
+        fn = self.global_env.get_function(fn_name)
+        return interpreter.call_function(fn, list(args), None, self)
+
+    def get_global(self, name: str) -> Any:
+        return self.global_env.get(name)
+
+    def set_global(self, name: str, value: Any) -> None:
+        self.global_env.set(name, value)
+
+    def write_output(self, s: str) -> None:
+        if self.config.capture_output:
+            self.output.append(s)
+        else:  # pragma: no cover
+            sys.stdout.write(s)
+
+    def cycles(self) -> float:
+        """Deterministic simulated-cycle reading (see CostModel)."""
+        return self.cost_model.cycles(self.state)
+
+    # ------------------------------------------------------------------
+    # tiering: calls
+    # ------------------------------------------------------------------
+
+    def jit_state(self, closure: RClosure) -> ClosureJitState:
+        st = closure.jit
+        if st is None:
+            st = closure.jit = ClosureJitState(self.config.deoptless_max_continuations)
+        return st
+
+    def call_closure(self, closure: RClosure, args: List[Any], names) -> Any:
+        st = self.jit_state(closure)
+        st.call_count += 1
+
+        ncode = st.version
+        if (
+            ncode is None
+            and self.config.enable_jit
+            and not st.cant_compile
+            and st.call_count > self.config.compile_threshold
+            and st.deopt_count < self.config.max_deopts_per_function
+        ):
+            ncode = self.compile_closure(closure)
+
+        if ncode is not None and not ncode.invalidated:
+            if ncode.env_elided:
+                pos = self._match_native(closure, st, args, names)
+                if pos is not None:
+                    return execute(ncode, pos, self, closure_env=closure.env)
+            else:
+                env = interpreter.match_arguments(closure, args, names, self)
+                return execute(ncode, [env], self, closure_env=closure.env)
+
+        env = interpreter.match_arguments(closure, args, names, self)
+        return interpreter.run(closure.code, env, self, closure=closure)
+
+    def _match_native(self, closure: RClosure, st: ClosureJitState, args, names):
+        """Positional argument vector for the register calling convention,
+        or None when this call shape needs the interpreter path."""
+        formals = closure.formals
+        if names is None and len(args) == len(formals):
+            return list(args)
+        if st.default_consts is None:
+            st.default_consts = _default_consts(closure)
+        if st.default_consts is _NO_CONSTS:
+            return None
+        formal_names = [f[0] for f in formals]
+        slots: List[Any] = [_MISSING] * len(formals)
+        used = [False] * len(args)
+        if names is not None:
+            for i, nm in enumerate(names):
+                if nm is None:
+                    continue
+                if nm not in formal_names:
+                    return None
+                j = formal_names.index(nm)
+                slots[j] = args[i]
+                used[i] = True
+        pos = 0
+        for i, a in enumerate(args):
+            if names is not None and used[i]:
+                continue
+            while pos < len(formals) and slots[pos] is not _MISSING:
+                pos += 1
+            if pos >= len(formals):
+                return None
+            slots[pos] = a
+            pos += 1
+        for j, v in enumerate(slots):
+            if v is _MISSING:
+                d = st.default_consts[j]
+                if d is _MISSING:
+                    return None
+                slots[j] = d
+        for v in slots:
+            if isinstance(v, RVector):
+                v.named = 2
+        return slots
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+
+    def compile_closure(self, closure: RClosure) -> Optional[NativeCode]:
+        st = self.jit_state(closure)
+        try:
+            builder = GraphBuilder(self, closure.code, closure)
+            graph = builder.build()
+            optimize(graph, self.config)
+            ncode = lower(graph, drop_deopt_exits=self.config.unsound_drop_deopt_exits)
+        except CompilationFailure as e:
+            st.cant_compile = True
+            self.state.compile_failures += 1
+            self.state.emit("compile_failed", closure.name, error=str(e))
+            return None
+        ncode.closure = closure
+        st.version = ncode
+        self.state.compiles += 1
+        self.state.compiled_instrs += ncode.size
+        self.state.code_size += ncode.size
+        self.state.emit("compile", closure.name, size=ncode.size, env_elided=ncode.env_elided)
+        return ncode
+
+    # ------------------------------------------------------------------
+    # OSR
+    # ------------------------------------------------------------------
+
+    def try_osr_in(self, code: CodeObject, env: REnvironment, pc: int, closure=None):
+        if not (self.config.enable_jit and self.config.enable_osr_in):
+            return (False, None)
+        return osr_in.try_osr_in(self, code, env, pc, closure)
+
+    def deopt(self, fs: FrameState, reason: DeoptReason, origin: Optional[NativeCode] = None) -> Any:
+        """Handle a failed guard: deoptless first, else true deoptimization."""
+        self.state.deopts += 1
+        self.state.emit(
+            "deopt", fs.code.name, pc=fs.pc, reason=reason.kind.value,
+            observed=repr(reason.observed),
+            from_continuation=bool(origin is not None and origin.is_deoptless_continuation),
+        )
+        if reason.kind != DeoptReasonKind.CHAOS:
+            fs.code.deopt_sites[reason.pc] = fs.code.deopt_sites.get(reason.pc, 0) + 1
+            fs.code.deopt_count += 1
+
+        result = deoptless_engine.try_deoptless(self, fs, reason, origin)
+        if result is not deoptless_engine.MISS:
+            return result
+
+        # -- actual deoptimization (paper Figure 1) -------------------------------
+        fun = fs.fun
+        if fun is not None and fun.jit is not None:
+            st = fun.jit
+            if reason.kind in CATASTROPHIC_REASONS:
+                self._retire(st)
+                st.deoptless_table.clear()
+                self.state.invalidations += 1
+            elif origin is not None and origin.is_deoptless_continuation:
+                # a deoptless continuation mis-speculated: drop it; a real
+                # (non-chaos) mis-speculation also retires the original code
+                # ("leads to the function being deoptimized for good")
+                st.deoptless_table.remove(origin)
+                self.state.code_size -= origin.size
+                if reason.kind != DeoptReasonKind.CHAOS:
+                    self._retire(st)
+                    st.deopt_count += 1
+                    st.call_count = 0
+            else:
+                self._retire(st)
+                st.deopt_count += 1
+                st.call_count = 0  # re-warm with fresh profile before recompiling
+        return osr_out.resume_in_interpreter(self, fs)
+
+    def _retire(self, st: ClosureJitState) -> None:
+        if st.version is not None:
+            self.state.code_size -= st.version.size
+            st.version.invalidated = True
+            st.version = None
+            self.state.invalidations += 1
+
+    # ------------------------------------------------------------------
+    # introspection helpers (used by tests and the benchmark harness)
+    # ------------------------------------------------------------------
+
+    @property
+    def osr_threshold(self) -> int:
+        return self.config.osr_threshold
+
+
+_MISSING = object()
+_NO_CONSTS = object()
+
+
+def _default_consts(closure: RClosure):
+    """Positional default values when every default is a constant thunk."""
+    from ..bytecode import opcodes as O
+    from ..ir.builder import _const_default
+
+    out = []
+    for _, default in closure.formals:
+        if default is None:
+            out.append(_MISSING)
+        elif _const_default(default):
+            ins = default.code[0]
+            out.append(NULL if ins[0] == O.PUSH_NULL else default.consts[ins[1]])
+        else:
+            return _NO_CONSTS
+    return out

@@ -1,0 +1,6 @@
+"""The "native" tier: IR lowering and the register-machine executor."""
+
+from .executor import execute
+from .lower import DeoptDescr, LoweringError, NativeCode, lower
+
+__all__ = ["DeoptDescr", "LoweringError", "NativeCode", "execute", "lower"]

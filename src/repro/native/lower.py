@@ -1,0 +1,421 @@
+"""IR → register-machine lowering.
+
+Produces a :class:`NativeCode`: a flat list of register ops with branch
+targets resolved to indices, plus the deopt descriptor table that maps each
+guard to the FrameState layout needed to exit (which register holds which
+interpreter variable / stack slot, and whether it must be re-boxed).
+
+Phis are lowered to parallel register moves on the incoming edges; critical
+edges (a branching predecessor into a join) get synthesized move-blocks.
+Fused guard ops (``GTYPE``/``GIDENT``) are emitted when an ``IsType``/
+``IsIdentical`` feeds exactly one ``Assume`` — the common case produced by
+the builder.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..ir import instructions as I
+from ..ir.builder import GuardedMod
+from ..ir.cfg import Graph
+from ..osr.framestate import DeoptReasonKind
+from ..runtime.rtypes import Kind
+from . import ops as N
+
+
+class LoweringError(Exception):
+    pass
+
+
+class DeoptDescr:
+    """Everything the executor needs to build a runtime FrameState."""
+
+    __slots__ = ("code", "pc", "env_slots", "stack", "env_reg", "reason_kind", "reason_pc", "expected")
+
+    def __init__(self, code, pc, env_slots, stack, env_reg, reason_kind, reason_pc, expected):
+        self.code = code
+        self.pc = pc
+        #: [(name, reg, kind_or_None)] — kind set when the reg holds a raw value
+        self.env_slots: List[Tuple[str, int, Optional[Kind]]] = env_slots
+        #: [(reg, kind_or_None)]
+        self.stack: List[Tuple[int, Optional[Kind]]] = stack
+        self.env_reg: Optional[int] = env_reg
+        self.reason_kind = reason_kind
+        self.reason_pc = reason_pc
+        self.expected = expected
+
+
+class NativeCode:
+    """A lowered compilation unit, executable by the register machine."""
+
+    def __init__(self, graph: Graph, name: str):
+        self.name = name
+        self.ops: List[tuple] = []
+        self.n_regs = 0
+        self.reg_init: List[Any] = []
+        self.deopts: List[DeoptDescr] = []
+        self.param_regs: List[int] = []
+        self.env_reg: Optional[int] = None
+        self.env_elided = graph.env_elided
+        self.cont_var_names = graph.cont_var_names
+        self.cont_stack_size = graph.cont_stack_size
+        self.entry_pc = graph.entry_pc
+        self.is_continuation = graph.is_continuation
+        self.is_deoptless_continuation = False
+        self.bc_code = graph.bc_code
+        #: set by the VM when installing: the closure this code belongs to
+        self.closure = None
+        self.invalidated = False
+
+    @property
+    def size(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<NativeCode %s: %d ops, %d regs>" % (self.name, len(self.ops), self.n_regs)
+
+
+class Lowerer:
+    def __init__(self, graph: Graph, drop_deopt_exits: bool = False):
+        #: for the section 4.1 experiment: skip emitting guard exits
+        self.drop_deopt_exits = drop_deopt_exits
+        self.graph = graph
+        self.nc = NativeCode(graph, graph.name)
+        self.reg_of: Dict[int, int] = {}
+        self.block_start: Dict[int, int] = {}
+        self.fixups: List[Tuple[int, int, Any]] = []  # (op_index, operand_pos, block)
+        self.order = graph.rpo()
+
+    # -- registers -----------------------------------------------------------------
+
+    def reg(self, ins: I.Instr) -> int:
+        r = self.reg_of.get(id(ins))
+        if r is None:
+            r = self.nc.n_regs
+            self.nc.n_regs += 1
+            self.reg_of[id(ins)] = r
+        return r
+
+    def fresh_reg(self) -> int:
+        r = self.nc.n_regs
+        self.nc.n_regs += 1
+        return r
+
+    def emit(self, *op: Any) -> int:
+        self.nc.ops.append(tuple(op))
+        return len(self.nc.ops) - 1
+
+    # -- deopt descriptors ------------------------------------------------------------
+
+    def deopt_id(self, ins, reason_kind=None, expected=None) -> int:
+        fs = ins.framestate
+        reason_pc = getattr(ins, "reason_pc", None)
+        if reason_pc is None:
+            reason_pc = ins.feedback_origin if isinstance(ins, I.Assume) else fs.pc
+        env_slots = []
+        env_reg = None
+        if fs.env_value is not None:
+            env_reg = self.reg(fs.env_value)
+        else:
+            for name, v in fs.env_slots:
+                kind = v.type.kind if v.unboxed else None
+                env_slots.append((name, self.reg(v), kind))
+        stack = [(self.reg(v), v.type.kind if v.unboxed else None) for v in fs.stack]
+        if reason_kind is None:
+            reason_kind = ins.reason_kind if isinstance(ins, I.Assume) else DeoptReasonKind.OTHER
+        d = DeoptDescr(fs.code, fs.pc, env_slots, stack, env_reg, reason_kind, reason_pc, expected)
+        self.nc.deopts.append(d)
+        return len(self.nc.deopts) - 1
+
+    # -- main ---------------------------------------------------------------------------
+
+    def lower(self) -> NativeCode:
+        g = self.graph
+        # constants go into the initial register image
+        for ins in g.iter_instrs():
+            if isinstance(ins, I.Const):
+                r = self.reg(ins)
+        # params
+        for p in g.params:
+            self.nc.param_regs.append(self.reg(p))
+            if isinstance(p, I.EnvParam):
+                self.nc.env_reg = self.reg(p)
+
+        fused = self._find_fused_guards()
+
+        pending_edges: List[Tuple[Any, Any, int]] = []  # (pred_bb, succ_bb, jump_op_index/branch pos)
+        for bb in self.order:
+            self.block_start[bb.id] = len(self.nc.ops)
+            for ins in bb.instrs:
+                self._lower_instr(ins, fused)
+        # synthesize move-blocks for critical edges and patch targets
+        self._patch_branches()
+
+        # initial register image: None except constants
+        init = [None] * self.nc.n_regs
+        for ins in g.iter_instrs():
+            if isinstance(ins, I.Const):
+                init[self.reg(ins)] = ins.value
+        self.nc.reg_init = init
+        return self.nc
+
+    # -- guards fusion ---------------------------------------------------------------------
+
+    def _find_fused_guards(self) -> Dict[int, I.Assume]:
+        """Map id(test-instr) -> Assume when the test feeds only that Assume."""
+        use_count: Dict[int, int] = {}
+        only_assume: Dict[int, Optional[I.Assume]] = {}
+        for ins in self.graph.iter_instrs():
+            for a in ins.args:
+                use_count[id(a)] = use_count.get(id(a), 0) + 1
+                if isinstance(ins, I.Assume):
+                    only_assume.setdefault(id(a), ins)
+            fs = getattr(ins, "framestate", None)
+            if fs is not None:
+                for v in fs.iter_values():
+                    use_count[id(v)] = use_count.get(id(v), 0) + 2  # framestate use blocks fusion
+        fused = {}
+        for ins in self.graph.iter_instrs():
+            if isinstance(ins, (I.IsType, I.IsIdentical)) and use_count.get(id(ins)) == 1:
+                asm = only_assume.get(id(ins))
+                if asm is not None and asm.args[0] is ins:
+                    fused[id(ins)] = asm
+        return fused
+
+    # -- phi moves ------------------------------------------------------------------------
+
+    def _phi_moves(self, pred_bb, succ_bb) -> List[Tuple[int, int]]:
+        moves = []
+        for phi in succ_bb.phis():
+            for blk, val in phi.inputs:
+                if blk is pred_bb:
+                    moves.append((self.reg(phi), self.reg(val)))
+        return moves
+
+    def _emit_moves(self, moves: List[Tuple[int, int]]) -> None:
+        if not moves:
+            return
+        dsts = {d for d, _ in moves}
+        needs_temp = any(s in dsts for _, s in moves)
+        if needs_temp:
+            temps = []
+            for _, s in moves:
+                t = self.fresh_reg()
+                temps.append(t)
+                self.emit(N.MOVE, t, s)
+            for (d, _), t in zip(moves, temps):
+                self.emit(N.MOVE, d, t)
+        else:
+            for d, s in moves:
+                self.emit(N.MOVE, d, s)
+
+    # -- branch patching --------------------------------------------------------------------
+
+    def _patch_branches(self) -> None:
+        """Resolve branch/jump targets; synthesize edge blocks where a
+        branching predecessor flows into a block with phis."""
+        extra_blocks: List[Tuple[int, Any, Any]] = []
+        for idx, op in enumerate(self.nc.ops):
+            if op[0] == N.JMP and isinstance(op[1], _BlockRef):
+                # moves were already emitted inline before the JMP
+                self.nc.ops[idx] = (N.JMP, self.block_start[op[1].bb.id])
+            elif op[0] == N.BRT and (isinstance(op[2], _BlockRef) or isinstance(op[3], _BlockRef)):
+                t_ref, f_ref = op[2], op[3]
+                t_idx = self._edge_target(t_ref, extra_blocks)
+                f_idx = self._edge_target(f_ref, extra_blocks)
+                self.nc.ops[idx] = (N.BRT, op[1], t_idx, f_idx)
+        # append synthesized edge blocks, then resolve their jumps
+        for start_marker, moves, succ_bb in extra_blocks:
+            pass  # already appended in _edge_target
+
+    def _edge_target(self, ref: "_BlockRef", extra_blocks) -> int:
+        succ = ref.bb
+        moves = self._phi_moves(ref.pred, succ)
+        if not moves:
+            return self.block_start[succ.id]
+        # synthesize: moves + JMP succ at the end of the op stream
+        start = len(self.nc.ops)
+        self._emit_moves(moves)
+        self.emit(N.JMP, self.block_start[succ.id])
+        extra_blocks.append((start, moves, succ))
+        return start
+
+    # -- instruction lowering ------------------------------------------------------------------
+
+    def _lower_instr(self, ins: I.Instr, fused: Dict[int, I.Assume]) -> None:
+        t = type(ins)
+        if t is I.Const or t is I.Param or t is I.EnvParam or t is I.Phi:
+            self.reg(ins)  # ensure allocation; params/consts preloaded, phis via moves
+            return
+        if t is I.IsType and id(ins) in fused:
+            if self.drop_deopt_exits:
+                return
+            asm = fused[id(ins)]
+            did = self.deopt_id(asm, expected=asm.expected)
+            self.emit(N.GTYPE, self.reg(ins.args[0]), ins.test_type, did)
+            return
+        if t is I.IsIdentical and id(ins) in fused:
+            if self.drop_deopt_exits:
+                return
+            asm = fused[id(ins)]
+            did = self.deopt_id(asm, expected=asm.expected)
+            self.emit(N.GIDENT, self.reg(ins.args[0]), ins.expected, did)
+            return
+        if t is I.IsType:
+            self.emit(N.ISTYPE, self.reg(ins), self.reg(ins.args[0]), ins.test_type)
+            return
+        if t is I.IsIdentical:
+            self.emit(N.ISIDENT, self.reg(ins), self.reg(ins.args[0]), ins.expected)
+            return
+        if t is I.Assume:
+            if self.drop_deopt_exits:
+                return
+            cond = ins.args[0]
+            if id(cond) in fused and fused[id(cond)] is ins:
+                return  # already emitted as a fused guard
+            did = self.deopt_id(ins, expected=ins.expected)
+            self.emit(N.ASSUME, self.reg(cond), did)
+            return
+        if t is I.PrimArith:
+            opmap = {"+": N.PADD, "-": N.PSUB, "*": N.PMUL, "/": N.PDIV, "^": N.PPOW,
+                     "%%": N.PMODF, "%/%": N.PIDIVF}
+            self.emit(opmap[ins.op], self.reg(ins), self.reg(ins.args[0]), self.reg(ins.args[1]))
+            return
+        if t is GuardedMod:
+            did = self.deopt_id(ins, reason_kind=DeoptReasonKind.NA_CHECK)
+            code = N.PMODI if ins.op == "%%" else N.PIDIVI
+            self.emit(code, self.reg(ins), self.reg(ins.args[0]), self.reg(ins.args[1]), did)
+            return
+        if t is I.PrimCompare:
+            opmap = {"<": N.PLT, "<=": N.PLE, ">": N.PGT, ">=": N.PGE, "==": N.PEQ, "!=": N.PNE}
+            self.emit(opmap[ins.op], self.reg(ins), self.reg(ins.args[0]), self.reg(ins.args[1]))
+            return
+        if t is I.PrimUnary:
+            self.emit(N.PNOT if ins.op == "!" else N.PNEG, self.reg(ins), self.reg(ins.args[0]))
+            return
+        if t is I.VecLoad:
+            did = self.deopt_id(ins, reason_kind=DeoptReasonKind.NA_CHECK)
+            self.emit(N.VLOAD, self.reg(ins), self.reg(ins.args[0]), self.reg(ins.args[1]), did)
+            return
+        if t is I.VecStore:
+            self.emit(
+                N.VSTORE, self.reg(ins), self.reg(ins.args[0]), self.reg(ins.args[1]),
+                self.reg(ins.args[2]), ins.kind,
+            )
+            return
+        if t is I.VecLength:
+            self.emit(N.VLEN, self.reg(ins), self.reg(ins.args[0]))
+            return
+        if t is I.CastType:
+            # pure static refinement: a register copy
+            self.emit(N.MOVE, self.reg(ins), self.reg(ins.args[0]))
+            return
+        if t is I.Box:
+            self.emit(N.BOX, self.reg(ins), self.reg(ins.args[0]), ins.kind)
+            return
+        if t is I.Unbox:
+            self.emit(N.UNBOX, self.reg(ins), self.reg(ins.args[0]))
+            return
+        if t is I.Arith:
+            self.emit(N.GEN_ARITH, self.reg(ins), ins.op, self.reg(ins.args[0]), self.reg(ins.args[1]))
+            return
+        if t is I.Compare:
+            self.emit(N.GEN_COMPARE, self.reg(ins), ins.op, self.reg(ins.args[0]), self.reg(ins.args[1]))
+            return
+        if t is I.Logic:
+            self.emit(N.GEN_LOGIC, self.reg(ins), ins.op, self.reg(ins.args[0]), self.reg(ins.args[1]))
+            return
+        if t is I.Unary:
+            self.emit(N.GEN_UNARY, self.reg(ins), ins.op, self.reg(ins.args[0]))
+            return
+        if t is I.Colon:
+            self.emit(N.GEN_COLON, self.reg(ins), self.reg(ins.args[0]), self.reg(ins.args[1]))
+            return
+        if t is I.Extract2:
+            self.emit(N.GEN_EX2, self.reg(ins), self.reg(ins.args[0]), self.reg(ins.args[1]))
+            return
+        if t is I.Extract1:
+            self.emit(N.GEN_EX1, self.reg(ins), self.reg(ins.args[0]), self.reg(ins.args[1]))
+            return
+        if t is I.SetIndex2:
+            self.emit(N.GEN_SET2, self.reg(ins), self.reg(ins.args[0]), self.reg(ins.args[1]), self.reg(ins.args[2]))
+            return
+        if t is I.SetIndex1:
+            self.emit(N.GEN_SET1, self.reg(ins), self.reg(ins.args[0]), self.reg(ins.args[1]), self.reg(ins.args[2]))
+            return
+        if t is I.SeqLength:
+            self.emit(N.GEN_SEQLEN, self.reg(ins), self.reg(ins.args[0]))
+            return
+        if t is I.AsLogicalScalar:
+            self.emit(N.AS_LGL, self.reg(ins), self.reg(ins.args[0]))
+            return
+        if t is I.CheckFun:
+            self.emit(N.CHECKFUN, self.reg(ins.args[0]))
+            return
+        if t is I.LdVarEnv:
+            if ins.args:
+                self.emit(N.LDVAR_ENV, self.reg(ins), self.reg(ins.args[0]), ins.vname)
+            else:
+                self.emit(N.LDVAR_FREE, self.reg(ins), ins.vname)
+            return
+        if t is I.StVarEnv:
+            self.emit(N.STVAR_ENV, self.reg(ins.args[0]), ins.vname, self.reg(ins.args[1]))
+            return
+        if t is I.StVarSuper:
+            if len(ins.args) == 2:
+                self.emit(N.STSUPER, self.reg(ins.args[0]), ins.vname, self.reg(ins.args[1]))
+            else:
+                self.emit(N.STSUPER, None, ins.vname, self.reg(ins.args[0]))
+            return
+        if t is I.LdFun:
+            env_reg = self.reg(ins.args[0]) if ins.args else None
+            self.emit(N.LDFUN, self.reg(ins), env_reg, ins.vname)
+            return
+        if t is I.Force:
+            self.emit(N.FORCE, self.reg(ins), self.reg(ins.args[0]))
+            return
+        if t is I.MkClosure:
+            self.emit(N.MKCLOSURE, self.reg(ins), self.reg(ins.args[0]), ins.payload)
+            return
+        if t is I.MkPromise:
+            self.emit(N.MKPROMISE, self.reg(ins), self.reg(ins.args[0]), ins.thunk_code)
+            return
+        if t is I.CallBuiltin:
+            self.emit(N.CALLB, self.reg(ins), ins.builtin, tuple(self.reg(a) for a in ins.args))
+            return
+        if t is I.StaticCall:
+            self.emit(N.CALLS, self.reg(ins), ins.closure, tuple(self.reg(a) for a in ins.args), ins.call_names)
+            return
+        if t is I.Call:
+            self.emit(
+                N.CALLG, self.reg(ins), self.reg(ins.args[0]),
+                tuple(self.reg(a) for a in ins.args[1:]), ins.call_names,
+            )
+            return
+        if t is I.Jump:
+            self._emit_moves(self._phi_moves(ins.block, ins.target))
+            self.emit(N.JMP, _BlockRef(ins.block, ins.target))
+            return
+        if t is I.Branch:
+            self.emit(
+                N.BRT, self.reg(ins.args[0]),
+                _BlockRef(ins.block, ins.true_block), _BlockRef(ins.block, ins.false_block),
+            )
+            return
+        if t is I.Return:
+            self.emit(N.RET, self.reg(ins.args[0]))
+            return
+        raise LoweringError("cannot lower %s" % type(ins).__name__)
+
+
+class _BlockRef:
+    __slots__ = ("pred", "bb")
+
+    def __init__(self, pred, bb):
+        self.pred = pred
+        self.bb = bb
+
+
+def lower(graph: Graph, drop_deopt_exits: bool = False) -> NativeCode:
+    return Lowerer(graph, drop_deopt_exits=drop_deopt_exits).lower()

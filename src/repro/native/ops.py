@@ -1,0 +1,73 @@
+"""Register-machine opcode numbers.
+
+Numbered roughly by expected dynamic frequency: the executor dispatches with
+an if/elif chain in this order, so hot loop ops come first.
+"""
+
+# hot arithmetic / control
+PADD = 0
+PLT = 1
+VLOAD = 2
+MOVE = 3
+JMP = 4
+BRT = 5
+PSUB = 6
+PMUL = 7
+PLE = 8
+PGT = 9
+PGE = 10
+PEQ = 11
+PNE = 12
+PDIV = 13
+GTYPE = 14
+VLEN = 15
+VSTORE = 16
+BOX = 17
+UNBOX = 18
+RET = 19
+PPOW = 20
+PNEG = 21
+PNOT = 22
+PMODI = 23
+PIDIVI = 24
+PMODF = 25
+PIDIVF = 26
+GIDENT = 27
+ISTYPE = 28
+ISIDENT = 29
+ASSUME = 30
+FORCE = 31
+AS_LGL = 32
+# generic (boxed) fallbacks
+GEN_ARITH = 33
+GEN_COMPARE = 34
+GEN_LOGIC = 35
+GEN_UNARY = 36
+GEN_COLON = 37
+GEN_EX2 = 38
+GEN_EX1 = 39
+GEN_SET2 = 40
+GEN_SET1 = 41
+GEN_SEQLEN = 42
+CHECKFUN = 43
+# environment / functions
+LDVAR_ENV = 44
+LDVAR_FREE = 45
+STVAR_ENV = 46
+STSUPER = 47
+LDFUN = 48
+MKCLOSURE = 49
+MKPROMISE = 50
+# calls
+CALLB = 51
+CALLS = 52
+CALLG = 53
+
+NAMES = {v: k for k, v in list(globals().items()) if isinstance(v, int) and not k.startswith("_")}
+
+
+def disassemble(ncode) -> str:  # pragma: no cover - debugging aid
+    lines = []
+    for i, op in enumerate(ncode.ops):
+        lines.append("%4d  %-10s %s" % (i, NAMES.get(op[0], "?"), " ".join(repr(x) for x in op[1:])))
+    return "\n".join(lines)

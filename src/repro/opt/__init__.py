@@ -1,0 +1,8 @@
+"""Optimization passes over the IR."""
+
+from .dce import dce
+from .dse import dse
+from .pipeline import optimize
+from .simplify import simplify
+
+__all__ = ["dce", "dse", "optimize", "simplify"]

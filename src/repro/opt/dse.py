@@ -1,0 +1,57 @@
+"""Dead store elimination for environment stores.
+
+Removes a ``StVarEnv`` that is overwritten by a later store to the same
+variable with no intervening observer.  Observers are: loads/stores through
+the env by *other* instructions that may read it (any call, LdVarEnv, LdFun,
+MkClosure, MkPromise, Force) and — crucially — **any instruction carrying a
+FrameState that references the environment**, because deoptimization
+re-reads every binding.
+
+Per the paper's OSR-in anecdote (section 4.2: "out of all the optimization
+passes of the normal optimizer, only dead-store elimination was unsound for
+OSR-in continuations"), this pass refuses to run on continuation graphs:
+objects that escaped *before* the continuation's entry can observe stores
+that look dead from the continuation's point of view.  A config switch on
+the pass (``force``) re-enables it for the regression test that reproduces
+the unsoundness.
+"""
+
+from __future__ import annotations
+
+from ..ir import instructions as I
+from ..ir.cfg import Graph
+
+
+_ENV_OBSERVERS = (
+    I.LdVarEnv, I.LdFun, I.MkClosure, I.MkPromise, I.Force, I.Call,
+    I.CallBuiltin, I.StaticCall, I.StVarSuper, I.CheckFun, I.Return,
+)
+
+
+def dse(graph: Graph, force: bool = False) -> int:
+    """Remove provably dead env stores; returns the number removed."""
+    if graph.is_continuation and not force:
+        return 0
+    if graph.env_elided:
+        return 0  # nothing to do: variables are SSA registers already
+    removed = 0
+    for bb in graph.rpo():
+        # only the straight-line case: a store shadowed by a later store in
+        # the same block with no observer between them
+        last_store_of = {}
+        kill = []
+        for ins in bb.instrs:
+            if isinstance(ins, I.StVarEnv):
+                prev = last_store_of.get(ins.vname)
+                if prev is not None:
+                    kill.append(prev)
+                last_store_of[ins.vname] = ins
+            elif isinstance(ins, _ENV_OBSERVERS):
+                last_store_of.clear()
+            elif getattr(ins, "framestate", None) is not None:
+                # a deopt point observes the whole environment
+                last_store_of.clear()
+        for ins in kill:
+            bb.remove(ins)
+            removed += 1
+    return removed

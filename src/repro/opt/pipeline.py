@@ -1,0 +1,31 @@
+"""The optimization pipeline.
+
+Order: simplify → DSE → DCE → simplify.  DSE is skipped for continuation
+graphs unless forced (paper section 4.2 anecdote).  The pipeline is
+deliberately small; the heavy lifting (speculation, unboxing, typed ops)
+happens during BC→IR translation, mirroring how Ř's early PIR phases do the
+speculative rewriting and later phases clean up.
+"""
+
+from __future__ import annotations
+
+from ..ir.cfg import Graph
+from ..ir.verifier import verify
+from .dce import dce
+from .dse import dse
+from .simplify import simplify
+
+
+def optimize(graph: Graph, config=None) -> Graph:
+    check = config is None or getattr(config, "verify_ir", True)
+    if check:
+        verify(graph)
+    simplify(graph)
+    force_dse = bool(config and getattr(config, "unsound_continuation_escape", False))
+    dse(graph, force=force_dse)
+    dce(graph)
+    simplify(graph)
+    dce(graph)
+    if check:
+        verify(graph)
+    return graph

@@ -1,0 +1,172 @@
+"""Cleanup passes: phi simplification, copy propagation, box/unbox pairs,
+constant folding of primitive ops, and redundant-guard elimination.
+
+These run after the builder and keep the lowered code tight; none of them
+are speculation-specific, but all of them must preserve FrameState
+references (a value that only lives in a framestate is still live).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..runtime.rtypes import Kind
+from ..runtime.values import RVector
+from ..ir import instructions as I
+from ..ir.cfg import Graph
+
+
+def simplify(graph: Graph) -> int:
+    """Run local simplifications to a fixpoint; returns rewrite count."""
+    total = 0
+    for _ in range(10):
+        n = (
+            _simplify_phis(graph)
+            + _peephole(graph)
+            + _dedup_guards(graph)
+        )
+        total += n
+        if n == 0:
+            break
+    return total
+
+
+def _simplify_phis(graph: Graph) -> int:
+    """Remove phis whose inputs are all the same value (or themselves)."""
+    n = 0
+    for bb in graph.rpo():
+        for phi in list(bb.phis()):
+            inputs = {v for _, v in phi.inputs if v is not phi}
+            if len(inputs) == 1:
+                only = inputs.pop()
+                graph.replace_all_uses(phi, only)
+                bb.remove(phi)
+                n += 1
+    return n
+
+
+def _peephole(graph: Graph) -> int:
+    """Unbox(Box(x)) -> x, Box(Unbox(x)) -> x, constant-fold prim ops,
+    Unbox(Const) -> unboxed const, and fold IsType on statically-typed
+    values."""
+    n = 0
+    for bb in graph.rpo():
+        for ins in list(bb.instrs):
+            # Unbox(Box(x)) and Box(Unbox(x))
+            if isinstance(ins, I.Unbox) and isinstance(ins.args[0], I.Box):
+                inner = ins.args[0].args[0]
+                if inner.unboxed and inner.type.kind == ins.kind:
+                    graph.replace_all_uses(ins, inner)
+                    bb.remove(ins)
+                    n += 1
+                    continue
+            if isinstance(ins, I.Box) and isinstance(ins.args[0], I.Unbox):
+                inner = ins.args[0].args[0]
+                if not inner.unboxed and inner.type.kind == ins.kind and inner.type.scalar:
+                    graph.replace_all_uses(ins, inner)
+                    bb.remove(ins)
+                    n += 1
+                    continue
+            # Unbox(Const vector) -> unboxed Const
+            if isinstance(ins, I.Unbox) and isinstance(ins.args[0], I.Const):
+                cv = ins.args[0].value
+                if isinstance(cv, RVector) and len(cv.data) == 1 and cv.data[0] is not None:
+                    c = I.Const(cv.data[0], ins.type)
+                    c.unboxed = True
+                    bb.insert_before(ins, c)
+                    graph.replace_all_uses(ins, c)
+                    bb.remove(ins)
+                    n += 1
+                    continue
+            # constant-fold unboxed primitive arithmetic/comparison
+            if isinstance(ins, (I.PrimArith, I.PrimCompare)) and all(
+                isinstance(a, I.Const) and a.unboxed for a in ins.args
+            ):
+                folded = _fold_prim(ins)
+                if folded is not None:
+                    bb.insert_before(ins, folded)
+                    graph.replace_all_uses(ins, folded)
+                    bb.remove(ins)
+                    n += 1
+                    continue
+            # IsType on a value whose static type already satisfies the test
+            if isinstance(ins, I.IsType) and ins.args[0].type <= ins.test_type:
+                c = I.Const(True, ins.type)
+                c.unboxed = True
+                bb.insert_before(ins, c)
+                graph.replace_all_uses(ins, c)
+                bb.remove(ins)
+                n += 1
+                continue
+            # Assume(const True) is a no-op guard; drop it (the paper's
+            # "unsoundly dropped all deoptimization exit points" experiment
+            # uses a separate switch, not this — this one is sound)
+            if isinstance(ins, I.Assume):
+                cond = ins.args[0]
+                if isinstance(cond, I.Const) and cond.value is True:
+                    bb.remove(ins)
+                    n += 1
+                    continue
+    return n
+
+
+def _fold_prim(ins) -> Optional[I.Const]:
+    a = ins.args[0].value
+    b = ins.args[1].value
+    try:
+        if isinstance(ins, I.PrimArith):
+            op = ins.op
+            if op == "+":
+                v = a + b
+            elif op == "-":
+                v = a - b
+            elif op == "*":
+                v = a * b
+            elif op == "/":
+                if b == 0:
+                    return None
+                v = a / b
+            elif op == "^":
+                v = a ** b
+            else:
+                return None
+            c = I.Const(v, ins.type)
+            c.unboxed = True
+            return c
+        op = ins.op
+        v = {
+            "==": a == b, "!=": a != b, "<": a < b,
+            "<=": a <= b, ">": a > b, ">=": a >= b,
+        }[op]
+        c = I.Const(v, ins.type)
+        c.unboxed = True
+        return c
+    except (TypeError, OverflowError, ZeroDivisionError):
+        return None
+
+
+def _dedup_guards(graph: Graph) -> int:
+    """Within a block, drop a second identical type guard on the same value."""
+    n = 0
+    for bb in graph.rpo():
+        seen: Dict[tuple, I.Instr] = {}
+        for ins in list(bb.instrs):
+            if isinstance(ins, I.IsType):
+                key = (id(ins.args[0]), ins.test_type)
+                if key in seen:
+                    graph.replace_all_uses(ins, seen[key])
+                    bb.remove(ins)
+                    n += 1
+                else:
+                    seen[key] = ins
+        # duplicate Assumes over the same condition
+        asserted = set()
+        for ins in list(bb.instrs):
+            if isinstance(ins, I.Assume):
+                key = id(ins.args[0])
+                if key in asserted:
+                    bb.remove(ins)
+                    n += 1
+                else:
+                    asserted.add(key)
+    return n

@@ -1,0 +1,192 @@
+"""FrameStates and deoptimization reasons.
+
+Two levels, mirroring the paper's design (section 2, Figure 3):
+
+* :class:`FrameStateDescr` — the *compile-time* description the optimizer
+  carries through every pass: which bytecode pc to resume at, which IR
+  values correspond to the interpreter's local variables and operand stack
+  at that point.  This is the paper's ``Framestate`` instruction metadata.
+* :class:`FrameState` — the *runtime* object built when a guard actually
+  fails: boxed values for each local and stack slot.  This is the ``%f``
+  buffer of Listing 3, and the argument to ``deopt()`` of Listing 4.
+
+FrameStates chain through ``parent`` to describe inlined frames; the
+deoptless engine refuses chained states (paper section 4.3: "we exclude
+deoptimizations inside inlined code").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..runtime.rtypes import RType
+
+
+class DeoptReasonKind(enum.Enum):
+    """Why a guard failed — the abstract ``Reason`` of paper Listing 3."""
+
+    #: a speculated value type did not match (e.g. int vector became double)
+    TYPECHECK = "typecheck"
+    #: a speculated call target changed
+    CALL_TARGET = "call_target"
+    #: an element speculated NA-free turned out to be NA
+    NA_CHECK = "na_check"
+    #: an out-of-bounds or growing subscript on the fast path
+    BOUNDS = "bounds"
+    #: a condition speculated one-sided (deferred branch) went the other way
+    COLD_BRANCH = "cold_branch"
+    #: a value deopt: guard artificially triggered by chaos mode (section 5.1
+    #: randomly failing assumptions; the guarded fact still holds)
+    CHAOS = "chaos"
+    #: a global assumption (e.g. library function redefinition) — catastrophic,
+    #: deoptless must not handle these and the code is discarded
+    GLOBAL_INVALIDATED = "global"
+    #: the local environment leaked and was modified non-locally — catastrophic
+    ENV_LEAKED = "env_leaked"
+    #: anything else
+    OTHER = "other"
+
+
+#: reason kinds for which deoptless gives up and discards code (section 4.3,
+#: "Conditions and Limitations").
+CATASTROPHIC_REASONS = frozenset(
+    {DeoptReasonKind.GLOBAL_INVALIDATED, DeoptReasonKind.ENV_LEAKED}
+)
+
+
+class DeoptReason:
+    """A concrete deoptimization reason.
+
+    ``pc`` is the bytecode program counter of the *origin* of the failed
+    assumption (the profile site whose data was wrong); ``observed`` is an
+    abstract description of the offending value — an :class:`RType` for
+    typechecks, a callee identity for call-target guards.
+    """
+
+    __slots__ = ("kind", "pc", "observed", "expected", "detail")
+
+    def __init__(
+        self,
+        kind: DeoptReasonKind,
+        pc: int,
+        observed: Any = None,
+        expected: Any = None,
+        detail: str = "",
+    ):
+        self.kind = kind
+        self.pc = pc
+        self.observed = observed
+        self.expected = expected
+        self.detail = detail
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<deopt %s@%d observed=%r expected=%r>" % (
+            self.kind.value, self.pc, self.observed, self.expected,
+        )
+
+
+class FrameStateDescr:
+    """Compile-time frame state: how to rebuild the interpreter state.
+
+    * ``code``: the bytecode :class:`CodeObject` to resume in.
+    * ``pc``: the resume program counter (the bytecode op is *re-executed*
+      generically, so the state captured is the one *before* the op).
+    * ``env_slots``: ``[(name, ir_value)]`` — the local variables, when the
+      environment was elided and must be re-materialized.
+    * ``env_value``: the IR value holding a real environment, when it was not
+      elided (then ``env_slots`` is empty).
+    * ``stack``: IR values mirroring the interpreter's operand stack.
+    * ``parent``: enclosing frame for inlined code, or None.
+    """
+
+    __slots__ = ("code", "pc", "env_slots", "env_value", "stack", "parent")
+
+    def __init__(self, code, pc, env_slots, stack, env_value=None, parent=None):
+        self.code = code
+        self.pc = pc
+        self.env_slots: List[Tuple[str, Any]] = env_slots
+        self.env_value = env_value
+        self.stack: List[Any] = stack
+        self.parent: Optional["FrameStateDescr"] = parent
+
+    def iter_values(self):
+        for _, v in self.env_slots:
+            yield v
+        for v in self.stack:
+            yield v
+        if self.env_value is not None:
+            yield self.env_value
+        if self.parent is not None:
+            for v in self.parent.iter_values():
+                yield v
+
+    def replace_value(self, old, new) -> None:
+        self.env_slots = [(n, new if v is old else v) for n, v in self.env_slots]
+        self.stack = [new if v is old else v for v in self.stack]
+        if self.env_value is old:
+            self.env_value = new
+        if self.parent is not None:
+            self.parent.replace_value(old, new)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<fs %s@%d env=%d stack=%d%s>" % (
+            self.code.name, self.pc, len(self.env_slots), len(self.stack),
+            " +parent" if self.parent else "",
+        )
+
+
+class FrameState:
+    """Runtime frame state, built by a failing guard's deopt branch.
+
+    ``env_values`` maps variable names to boxed runtime values (when the env
+    was elided); ``env`` is the live environment otherwise.  ``closure_env``
+    is the lexical parent needed to re-materialize an elided environment.
+    """
+
+    __slots__ = ("code", "pc", "env_values", "env", "closure_env", "stack", "parent", "fun")
+
+    def __init__(
+        self,
+        code,
+        pc: int,
+        env_values: Optional[Dict[str, Any]],
+        stack: List[Any],
+        closure_env,
+        env=None,
+        parent: Optional["FrameState"] = None,
+        fun=None,
+    ):
+        self.code = code
+        self.pc = pc
+        self.env_values = env_values
+        self.env = env
+        self.closure_env = closure_env
+        self.stack = stack
+        self.parent = parent
+        #: the RClosure this frame belongs to (for the deoptless dispatch table)
+        self.fun = fun
+
+    def materialize_env(self):
+        """Rebuild a real environment (paper: MkEnv deferred into the deopt
+        branch).  Reuses the live env when it was never elided."""
+        from ..runtime.env import REnvironment
+
+        if self.env is not None:
+            return self.env
+        env = REnvironment(parent=self.closure_env)
+        if self.env_values:
+            for name, value in self.env_values.items():
+                env.set(name, value)
+        env.materialized_from_deopt = True
+        return env
+
+    def depth(self) -> int:
+        d, fs = 1, self.parent
+        while fs is not None:
+            d += 1
+            fs = fs.parent
+        return d
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<FrameState %s@%d>" % (self.code.name, self.pc)

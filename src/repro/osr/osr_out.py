@@ -1,0 +1,32 @@
+"""OSR-out: resuming in the interpreter after a deoptimization.
+
+This is the paper's Listing 4: materialize the interpreter state described
+by the FrameState (environment bindings and operand stack), then run the
+bytecode interpreter from the recorded pc.  The result is returned to the
+deoptimized native code's caller (the native guard *tail-called* us).
+
+FrameStates can chain (``parent``) to describe inlined frames; as in the
+paper's proof-of-concept, the surrounding machinery only ever hands us
+single frames (deopts inside inlined code are not generated because the
+optimizer does not inline yet), but the resume logic below implements the
+chained case for completeness, matching Listing 4's recursion.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..bytecode import interpreter
+from .framestate import FrameState
+
+
+def resume_in_interpreter(vm, fs: FrameState) -> Any:
+    """Continue execution of a deoptimized activation in the interpreter."""
+    env = fs.materialize_env()
+    stack = list(fs.stack)
+    if fs.parent is not None:
+        # Listing 4: evaluate the inner (callee) frame first and push its
+        # result where the outer frame's call expects it.
+        inner = resume_in_interpreter(vm, fs.parent)
+        stack.append(inner)
+    return interpreter.run(fs.code, env, vm, stack, fs.pc)

@@ -1,0 +1,6 @@
+"""mini-R source frontend: lexer, AST and parser."""
+
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, parse, parse_expr
+
+__all__ = ["LexError", "ParseError", "Token", "parse", "parse_expr", "tokenize"]

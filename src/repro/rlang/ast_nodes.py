@@ -1,0 +1,155 @@
+"""AST node definitions for mini-R.
+
+Nodes are small immutable-ish dataclasses.  Every node carries a source
+line for error messages and for the bytecode compiler's source map (which
+deoptimization metadata refers back to).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, compare=False)
+
+
+@dataclass
+class NumLit(Node):
+    value: float = 0.0
+
+
+@dataclass
+class IntLit(Node):
+    value: int = 0
+
+
+@dataclass
+class ComplexLit(Node):
+    value: complex = 0j
+
+
+@dataclass
+class StrLit(Node):
+    value: str = ""
+
+
+@dataclass
+class BoolLit(Node):
+    value: bool = False
+
+
+@dataclass
+class NullLit(Node):
+    pass
+
+
+@dataclass
+class NaLit(Node):
+    #: one of "lgl", "int", "dbl", "str"
+    kind: str = "lgl"
+
+
+@dataclass
+class Ident(Node):
+    name: str = ""
+
+
+@dataclass
+class Call(Node):
+    #: the callee expression (usually an Ident)
+    fn: Node = None
+    args: List[Node] = field(default_factory=list)
+    #: parallel to args; None for positional arguments
+    arg_names: List[Optional[str]] = field(default_factory=list)
+
+
+@dataclass
+class BinOp(Node):
+    op: str = "+"
+    lhs: Node = None
+    rhs: Node = None
+
+
+@dataclass
+class UnOp(Node):
+    op: str = "-"
+    operand: Node = None
+
+
+@dataclass
+class Colon(Node):
+    lhs: Node = None
+    rhs: Node = None
+
+
+@dataclass
+class Index(Node):
+    """``obj[[...]]`` when double is True, else ``obj[...]``."""
+
+    obj: Node = None
+    args: List[Node] = field(default_factory=list)
+    double: bool = True
+
+
+@dataclass
+class Assign(Node):
+    """``target <- value`` (or ``<<-`` when superassign)."""
+
+    target: Node = None
+    value: Node = None
+    superassign: bool = False
+
+
+@dataclass
+class If(Node):
+    cond: Node = None
+    then: Node = None
+    orelse: Optional[Node] = None
+
+
+@dataclass
+class For(Node):
+    var: str = ""
+    seq: Node = None
+    body: Node = None
+
+
+@dataclass
+class While(Node):
+    cond: Node = None
+    body: Node = None
+
+
+@dataclass
+class Repeat(Node):
+    body: Node = None
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Next(Node):
+    pass
+
+
+@dataclass
+class Block(Node):
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class Function(Node):
+    #: list of (name, default-expression-or-None)
+    formals: List[Tuple[str, Optional[Node]]] = field(default_factory=list)
+    body: Node = None
+
+
+@dataclass
+class Return(Node):
+    value: Optional[Node] = None

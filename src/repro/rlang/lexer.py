@@ -1,0 +1,172 @@
+"""Lexer for mini-R.
+
+Produces a flat token stream.  Newlines are significant in R (they terminate
+expressions unless the expression is syntactically incomplete), so the lexer
+emits ``NEWLINE`` tokens and leaves the continuation decision to the parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class LexError(Exception):
+    """Raised on malformed input; carries line/column info in the message."""
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str
+    value: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "%s(%r)@%d:%d" % (self.type, self.value, self.line, self.col)
+
+
+KEYWORDS = {
+    "function", "if", "else", "for", "while", "repeat", "break", "next",
+    "TRUE", "FALSE", "NULL", "NA", "NA_integer_", "NA_real_", "NA_character_",
+    "Inf", "NaN", "return",
+}
+
+#: multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "<<-", "%/%", "%%", "<-", "->", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "^", "<", ">", "!", "&", "|", "=", "(", ")",
+    # NOTE: ``[[`` is a single token (as in R's grammar) but ``]]`` is NOT:
+    # closing a ``[[`` consumes two separate ``]`` tokens so that nested
+    # subscripts like ``x[[i[1]]]`` lex correctly.
+    "{", "}", "[[", "[", "]", ",", ";", ":", "$", "?", "@",
+]
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` into a list ending with an ``EOF`` token."""
+    tokens: List[Token] = []
+    i, line, col = 0, 1, 1
+    n = len(source)
+
+    def push(type_: str, value: str, ln: int, cl: int) -> None:
+        tokens.append(Token(type_, value, ln, cl))
+
+    while i < n:
+        ch = source[i]
+        # -- whitespace (not newline)
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # -- comments
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        # -- newline
+        if ch == "\n":
+            push("NEWLINE", "\n", line, col)
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # -- strings
+        if ch in "\"'":
+            quote = ch
+            start_line, start_col = line, col
+            i += 1
+            col += 1
+            buf = []
+            while i < n and source[i] != quote:
+                c = source[i]
+                if c == "\\":
+                    if i + 1 >= n:
+                        raise LexError("unterminated string at line %d" % start_line)
+                    esc = source[i + 1]
+                    buf.append({"n": "\n", "t": "\t", "\\": "\\", quote: quote, "r": "\r", "0": "\0"}.get(esc, esc))
+                    i += 2
+                    col += 2
+                    continue
+                if c == "\n":
+                    line += 1
+                    col = 0
+                buf.append(c)
+                i += 1
+                col += 1
+            if i >= n:
+                raise LexError("unterminated string at line %d" % start_line)
+            i += 1
+            col += 1
+            push("STRING", "".join(buf), start_line, start_col)
+            continue
+        # -- numbers (also handles 1L integers, 1i complex, 0x hex, 1e5)
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            start_col = col
+            if ch == "0" and i + 1 < n and source[i + 1] in "xX":
+                i += 2
+                while i < n and (source[i].isdigit() or source[i] in "abcdefABCDEF"):
+                    i += 1
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+                if i < n and source[i] == ".":
+                    i += 1
+                    while i < n and source[i].isdigit():
+                        i += 1
+                if i < n and source[i] in "eE":
+                    j = i + 1
+                    if j < n and source[j] in "+-":
+                        j += 1
+                    if j < n and source[j].isdigit():
+                        i = j
+                        while i < n and source[i].isdigit():
+                            i += 1
+            text = source[start:i]
+            if i < n and source[i] == "L":
+                i += 1
+                push("INT", text, line, start_col)
+            elif i < n and source[i] == "i":
+                i += 1
+                push("COMPLEX", text, line, start_col)
+            else:
+                push("NUM", text, line, start_col)
+            col += i - start
+            continue
+        # -- identifiers and keywords (R allows . and _ inside names)
+        if ch.isalpha() or ch == "." or ch == "_":
+            start = i
+            start_col = col
+            while i < n and (source[i].isalnum() or source[i] in "._"):
+                i += 1
+            text = source[start:i]
+            col += i - start
+            if text in KEYWORDS:
+                push("KW", text, line, start_col)
+            else:
+                push("IDENT", text, line, start_col)
+            continue
+        # -- backtick-quoted identifiers
+        if ch == "`":
+            j = source.find("`", i + 1)
+            if j < 0:
+                raise LexError("unterminated backtick name at line %d" % line)
+            push("IDENT", source[i + 1 : j], line, col)
+            col += j + 1 - i
+            i = j + 1
+            continue
+        # -- operators
+        matched: Optional[str] = None
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                matched = op
+                break
+        if matched is None:
+            raise LexError("unexpected character %r at line %d col %d" % (ch, line, col))
+        push("OP", matched, line, col)
+        i += len(matched)
+        col += len(matched)
+
+    push("EOF", "", line, col)
+    return tokens

@@ -1,0 +1,447 @@
+"""Recursive-descent parser for mini-R.
+
+Implements R's operator precedence (from low to high):
+
+    <- <<-  (right)
+    ||      |        (left)
+    &&      &        (left)
+    !       (unary)
+    == != < > <= >=  (non-associative, we treat as left)
+    + -     (left)
+    * /     (left)
+    %% %/%  (left, "special" ops)
+    :       (left)
+    unary + -
+    ^       (right)
+    $ [[ [ ( (postfix)
+
+Newlines terminate expressions except where the expression is clearly
+incomplete (after an infix operator, inside parens/brackets/argument lists),
+matching R's behaviour closely enough for all of our benchmark programs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import ast_nodes as A
+from .lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    pass
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        #: nesting depth of (), [], [[]], argument lists — newlines are
+        #: insignificant inside.
+        self.paren_depth = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    def peek(self, skip_newlines: bool = False) -> Token:
+        i = self.pos
+        if skip_newlines or self.paren_depth > 0:
+            while self.tokens[i].type == "NEWLINE":
+                i += 1
+        return self.tokens[i]
+
+    def advance(self) -> Token:
+        if self.paren_depth > 0:
+            while self.tokens[self.pos].type == "NEWLINE":
+                self.pos += 1
+        t = self.tokens[self.pos]
+        self.pos += 1
+        return t
+
+    def skip_newlines(self) -> None:
+        while self.tokens[self.pos].type in ("NEWLINE", "OP") and (
+            self.tokens[self.pos].type == "NEWLINE" or self.tokens[self.pos].value == ";"
+        ):
+            self.pos += 1
+
+    def at(self, type_: str, value: Optional[str] = None) -> bool:
+        t = self.peek()
+        return t.type == type_ and (value is None or t.value == value)
+
+    def expect(self, type_: str, value: Optional[str] = None) -> Token:
+        t = self.peek()
+        if t.type != type_ or (value is not None and t.value != value):
+            raise ParseError(
+                "line %d: expected %s%s, got %s %r"
+                % (t.line, type_, " %r" % value if value else "", t.type, t.value)
+            )
+        return self.advance()
+
+    def _skip_nl_after_op(self) -> None:
+        """Newlines after an infix operator continue the expression."""
+        while self.tokens[self.pos].type == "NEWLINE":
+            self.pos += 1
+
+    # -- program ----------------------------------------------------------------
+
+    def parse_program(self) -> A.Block:
+        stmts: List[A.Node] = []
+        self.skip_newlines()
+        first = self.peek()
+        while not self.at("EOF"):
+            stmts.append(self.parse_expr())
+            self.skip_newlines()
+        return A.Block(line=first.line, body=stmts)
+
+    # -- expressions -------------------------------------------------------------
+
+    def parse_expr(self) -> A.Node:
+        return self.parse_assign()
+
+    def parse_assign(self) -> A.Node:
+        lhs = self.parse_right_assign_operand()
+        t = self.peek()
+        if t.type == "OP" and t.value in ("<-", "<<-", "="):
+            self.advance()
+            self._skip_nl_after_op()
+            rhs = self.parse_assign()
+            self._check_assign_target(lhs, t)
+            return A.Assign(line=t.line, target=lhs, value=rhs, superassign=(t.value == "<<-"))
+        if t.type == "OP" and t.value == "->":
+            self.advance()
+            self._skip_nl_after_op()
+            rhs = self.parse_right_assign_operand()
+            self._check_assign_target(rhs, t)
+            return A.Assign(line=t.line, target=rhs, value=lhs, superassign=False)
+        return lhs
+
+    def _check_assign_target(self, target: A.Node, tok: Token) -> None:
+        if isinstance(target, A.Ident):
+            return
+        if isinstance(target, A.Index) and isinstance(target.obj, (A.Ident, A.Index)):
+            return
+        raise ParseError("line %d: invalid assignment target" % tok.line)
+
+    def parse_right_assign_operand(self) -> A.Node:
+        return self.parse_or()
+
+    def _binop_left(self, sub, ops) -> A.Node:
+        lhs = sub()
+        while True:
+            t = self.peek()
+            if t.type == "OP" and t.value in ops:
+                self.advance()
+                self._skip_nl_after_op()
+                rhs = sub()
+                lhs = A.BinOp(line=t.line, op=t.value, lhs=lhs, rhs=rhs)
+            else:
+                return lhs
+
+    def parse_or(self) -> A.Node:
+        return self._binop_left(self.parse_and, ("||", "|"))
+
+    def parse_and(self) -> A.Node:
+        return self._binop_left(self.parse_not, ("&&", "&"))
+
+    def parse_not(self) -> A.Node:
+        t = self.peek()
+        if t.type == "OP" and t.value == "!":
+            self.advance()
+            self._skip_nl_after_op()
+            return A.UnOp(line=t.line, op="!", operand=self.parse_not())
+        return self.parse_compare()
+
+    def parse_compare(self) -> A.Node:
+        return self._binop_left(self.parse_add, ("==", "!=", "<", "<=", ">", ">="))
+
+    def parse_add(self) -> A.Node:
+        return self._binop_left(self.parse_mul, ("+", "-"))
+
+    def parse_mul(self) -> A.Node:
+        return self._binop_left(self.parse_special, ("*", "/"))
+
+    def parse_special(self) -> A.Node:
+        return self._binop_left(self.parse_range, ("%%", "%/%"))
+
+    def parse_range(self) -> A.Node:
+        lhs = self.parse_unary()
+        while self.at("OP", ":"):
+            t = self.advance()
+            self._skip_nl_after_op()
+            rhs = self.parse_unary()
+            lhs = A.Colon(line=t.line, lhs=lhs, rhs=rhs)
+        return lhs
+
+    def parse_unary(self) -> A.Node:
+        t = self.peek()
+        if t.type == "OP" and t.value in ("-", "+"):
+            self.advance()
+            self._skip_nl_after_op()
+            return A.UnOp(line=t.line, op=t.value, operand=self.parse_unary())
+        return self.parse_power()
+
+    def parse_power(self) -> A.Node:
+        base = self.parse_postfix()
+        if self.at("OP", "^"):
+            t = self.advance()
+            self._skip_nl_after_op()
+            # right associative; exponent binds tighter than unary minus in R
+            exponent = self.parse_unary()
+            return A.BinOp(line=t.line, op="^", lhs=base, rhs=exponent)
+        return base
+
+    # -- postfix: calls and subscripts ----------------------------------------------
+
+    def parse_postfix(self) -> A.Node:
+        node = self.parse_primary()
+        while True:
+            t = self.peek()
+            if t.type == "OP" and t.value == "(":
+                node = self.parse_call(node)
+            elif t.type == "OP" and t.value == "[[":
+                self.advance()
+                self.paren_depth += 1
+                args = [self.parse_expr()]
+                while self.at("OP", ","):
+                    self.advance()
+                    args.append(self.parse_expr())
+                self.expect("OP", "]")
+                self.paren_depth -= 1
+                self.expect("OP", "]")
+                node = A.Index(line=t.line, obj=node, args=args, double=True)
+            elif t.type == "OP" and t.value == "[":
+                self.advance()
+                self.paren_depth += 1
+                args = [self.parse_expr()]
+                while self.at("OP", ","):
+                    self.advance()
+                    args.append(self.parse_expr())
+                self.paren_depth -= 1
+                self.expect("OP", "]")
+                node = A.Index(line=t.line, obj=node, args=args, double=False)
+            else:
+                return node
+
+    def parse_call(self, fn: A.Node) -> A.Call:
+        t = self.expect("OP", "(")
+        self.paren_depth += 1
+        args: List[A.Node] = []
+        names: List[Optional[str]] = []
+        if not self.at("OP", ")"):
+            while True:
+                name: Optional[str] = None
+                # named argument: IDENT '=' expr (but not '==')
+                if self.peek().type == "IDENT":
+                    save = self.pos
+                    ident = self.advance()
+                    if self.at("OP", "="):
+                        self.advance()
+                        name = ident.value
+                    else:
+                        self.pos = save
+                args.append(self.parse_expr())
+                names.append(name)
+                if self.at("OP", ","):
+                    self.advance()
+                    continue
+                break
+        self.paren_depth -= 1
+        self.expect("OP", ")")
+        return A.Call(line=t.line, fn=fn, args=args, arg_names=names)
+
+    # -- primaries --------------------------------------------------------------------
+
+    def parse_primary(self) -> A.Node:
+        t = self.peek()
+        if t.type == "NUM":
+            self.advance()
+            return A.NumLit(line=t.line, value=float(t.value))
+        if t.type == "INT":
+            self.advance()
+            return A.IntLit(line=t.line, value=int(t.value, 0))
+        if t.type == "COMPLEX":
+            self.advance()
+            return A.ComplexLit(line=t.line, value=complex(0.0, float(t.value)))
+        if t.type == "STRING":
+            self.advance()
+            return A.StrLit(line=t.line, value=t.value)
+        if t.type == "IDENT":
+            self.advance()
+            return A.Ident(line=t.line, name=t.value)
+        if t.type == "KW":
+            return self.parse_keyword(t)
+        if t.type == "OP" and t.value == "(":
+            self.advance()
+            self.paren_depth += 1
+            e = self.parse_expr()
+            self.paren_depth -= 1
+            self.expect("OP", ")")
+            return e
+        if t.type == "OP" and t.value == "{":
+            return self.parse_block()
+        raise ParseError("line %d: unexpected token %s %r" % (t.line, t.type, t.value))
+
+    def parse_block(self) -> A.Block:
+        t = self.expect("OP", "{")
+        saved = self.paren_depth
+        self.paren_depth = 0  # newlines separate statements inside { }
+        stmts: List[A.Node] = []
+        self.skip_newlines()
+        while not self.at("OP", "}"):
+            stmts.append(self.parse_expr())
+            self.skip_newlines()
+        self.expect("OP", "}")
+        self.paren_depth = saved
+        return A.Block(line=t.line, body=stmts)
+
+    def parse_keyword(self, t: Token) -> A.Node:
+        kw = t.value
+        if kw == "TRUE":
+            self.advance()
+            return A.BoolLit(line=t.line, value=True)
+        if kw == "FALSE":
+            self.advance()
+            return A.BoolLit(line=t.line, value=False)
+        if kw == "NULL":
+            self.advance()
+            return A.NullLit(line=t.line)
+        if kw == "NA":
+            self.advance()
+            return A.NaLit(line=t.line, kind="lgl")
+        if kw == "NA_integer_":
+            self.advance()
+            return A.NaLit(line=t.line, kind="int")
+        if kw == "NA_real_":
+            self.advance()
+            return A.NaLit(line=t.line, kind="dbl")
+        if kw == "NA_character_":
+            self.advance()
+            return A.NaLit(line=t.line, kind="str")
+        if kw == "Inf":
+            self.advance()
+            return A.NumLit(line=t.line, value=float("inf"))
+        if kw == "NaN":
+            self.advance()
+            return A.NumLit(line=t.line, value=float("nan"))
+        if kw == "break":
+            self.advance()
+            return A.Break(line=t.line)
+        if kw == "next":
+            self.advance()
+            return A.Next(line=t.line)
+        if kw == "if":
+            return self.parse_if()
+        if kw == "for":
+            return self.parse_for()
+        if kw == "while":
+            return self.parse_while()
+        if kw == "repeat":
+            self.advance()
+            body = self.parse_expr()
+            return A.Repeat(line=t.line, body=body)
+        if kw == "function":
+            return self.parse_function()
+        if kw == "return":
+            self.advance()
+            if self.at("OP", "("):
+                self.advance()
+                self.paren_depth += 1
+                if self.at("OP", ")"):
+                    value: Optional[A.Node] = None
+                else:
+                    value = self.parse_expr()
+                self.paren_depth -= 1
+                self.expect("OP", ")")
+            else:
+                value = None
+            return A.Return(line=t.line, value=value)
+        raise ParseError("line %d: unexpected keyword %r" % (t.line, kw))
+
+    def parse_if(self) -> A.If:
+        t = self.expect("KW", "if")
+        self.expect("OP", "(")
+        self.paren_depth += 1
+        cond = self.parse_expr()
+        self.paren_depth -= 1
+        self.expect("OP", ")")
+        self._skip_nl_after_op()
+        then = self.parse_expr()
+        orelse: Optional[A.Node] = None
+        # 'else' may appear after newlines only when the if was inside a block;
+        # we accept it after newlines unconditionally for simplicity.
+        save = self.pos
+        while self.tokens[self.pos].type == "NEWLINE":
+            self.pos += 1
+        if self.at("KW", "else"):
+            self.expect("KW", "else")
+            self._skip_nl_after_op()
+            orelse = self.parse_expr()
+        else:
+            self.pos = save
+        return A.If(line=t.line, cond=cond, then=then, orelse=orelse)
+
+    def parse_for(self) -> A.For:
+        t = self.expect("KW", "for")
+        self.expect("OP", "(")
+        self.paren_depth += 1
+        var = self.expect("IDENT").value
+        # 'in' lexes as IDENT
+        tok = self.advance()
+        if tok.value != "in":
+            raise ParseError("line %d: expected 'in' in for loop" % tok.line)
+        seq = self.parse_expr()
+        self.paren_depth -= 1
+        self.expect("OP", ")")
+        self._skip_nl_after_op()
+        body = self.parse_expr()
+        return A.For(line=t.line, var=var, seq=seq, body=body)
+
+    def parse_while(self) -> A.While:
+        t = self.expect("KW", "while")
+        self.expect("OP", "(")
+        self.paren_depth += 1
+        cond = self.parse_expr()
+        self.paren_depth -= 1
+        self.expect("OP", ")")
+        self._skip_nl_after_op()
+        body = self.parse_expr()
+        return A.While(line=t.line, cond=cond, body=body)
+
+    def parse_function(self) -> A.Function:
+        t = self.expect("KW", "function")
+        self.expect("OP", "(")
+        self.paren_depth += 1
+        formals: List[Tuple[str, Optional[A.Node]]] = []
+        if not self.at("OP", ")"):
+            while True:
+                name = self.expect("IDENT").value
+                default: Optional[A.Node] = None
+                if self.at("OP", "="):
+                    self.advance()
+                    default = self.parse_expr()
+                formals.append((name, default))
+                if self.at("OP", ","):
+                    self.advance()
+                    continue
+                break
+        self.paren_depth -= 1
+        self.expect("OP", ")")
+        self._skip_nl_after_op()
+        body = self.parse_expr()
+        return A.Function(line=t.line, formals=formals, body=body)
+
+
+def parse(source: str) -> A.Block:
+    """Parse mini-R ``source`` into a program :class:`~ast_nodes.Block`."""
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_expr(source: str) -> A.Node:
+    """Parse a single expression (convenience for tests)."""
+    p = Parser(tokenize(source))
+    p.skip_newlines()
+    e = p.parse_expr()
+    p.skip_newlines()
+    if not p.at("EOF"):
+        t = p.peek()
+        raise ParseError("line %d: trailing input %r" % (t.line, t.value))
+    return e

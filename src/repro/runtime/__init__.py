@@ -1,0 +1,26 @@
+"""Shared runtime for both execution tiers: values, types, environments,
+coercion semantics and builtins."""
+
+from .env import REnvironment
+from .rtypes import ANY, Kind, RType, kind_lub, scalar, vector
+from .values import (
+    NULL,
+    RBuiltin,
+    RClosure,
+    RError,
+    RNull,
+    RPromise,
+    RVector,
+    mk_cplx,
+    mk_dbl,
+    mk_int,
+    mk_lgl,
+    mk_str,
+    rtype_of,
+)
+
+__all__ = [
+    "ANY", "Kind", "NULL", "RBuiltin", "RClosure", "REnvironment", "RError",
+    "RNull", "RPromise", "RType", "RVector", "kind_lub", "mk_cplx", "mk_dbl",
+    "mk_int", "mk_lgl", "mk_str", "rtype_of", "scalar", "vector",
+]

@@ -1,0 +1,67 @@
+"""Tests for the Python<->mini-R conversion API."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import NULL, from_r, to_r
+from repro.runtime.rtypes import Kind
+from repro.runtime.values import RVector
+
+
+def test_scalars_roundtrip():
+    assert from_r(to_r(5)) == 5
+    assert from_r(to_r(2.5)) == 2.5
+    assert from_r(to_r(True)) is True
+    assert from_r(to_r("hi")) == "hi"
+    assert from_r(to_r(1 + 2j)) == 1 + 2j
+    assert from_r(to_r(None)) is None
+
+
+def test_bool_becomes_logical_not_int():
+    assert to_r(True).kind == Kind.LGL
+    assert to_r(1).kind == Kind.INT
+
+
+def test_homogeneous_lists_become_vectors():
+    assert to_r([1, 2, 3]).kind == Kind.INT
+    assert to_r([1.5, 2]).kind == Kind.DBL
+    assert to_r(["a", "b"]).kind == Kind.STR
+    assert to_r([True, False]).kind == Kind.LGL
+
+
+def test_mixed_list_becomes_r_list():
+    v = to_r([1, "a"])
+    assert v.kind == Kind.LIST
+
+
+def test_unconvertible_raises():
+    with pytest.raises(TypeError):
+        to_r(object())
+
+
+def test_from_r_list_recurses():
+    v = RVector.rlist([to_r(1), to_r([1.5, 2.5])])
+    assert from_r(v) == [1, [1.5, 2.5]]
+
+
+def test_from_r_null():
+    assert from_r(NULL) is None
+
+
+def test_na_comes_back_as_none():
+    assert from_r(RVector.integer([1, None])) == [1, None]
+
+
+@given(st.lists(st.integers(-10**6, 10**6), min_size=2, max_size=10))
+def test_int_lists_roundtrip(xs):
+    assert from_r(to_r(xs)) == xs
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False), min_size=2, max_size=10))
+def test_float_lists_roundtrip(xs):
+    assert from_r(to_r(xs)) == [float(x) for x in xs]
+
+
+@given(st.text(max_size=30))
+def test_strings_roundtrip(s):
+    assert from_r(to_r(s)) == s

@@ -1,0 +1,77 @@
+"""Tests for chaos mode (paper section 5.1: randomly failing assumptions).
+
+Chaos triggers deopts whose guarded facts still hold; results must stay
+correct under every configuration, deterministically per seed.
+"""
+
+from conftest import make_vm
+from repro import from_r
+
+SRC = """
+f <- function(v, n) { s <- 0\nfor (i in 1:n) s <- s + v[[i]]\ns }
+x <- numeric(60)
+for (i in 1:60) x[[i]] <- i * 1.0
+"""
+
+
+def run_chaos(chaos_rate, seed=7, deoptless=False, iters=6):
+    vm = make_vm(chaos_rate=chaos_rate, chaos_seed=seed,
+                 enable_deoptless=deoptless, compile_threshold=1)
+    vm.eval(SRC)
+    results = [from_r(vm.eval("f(x, 60L)")) for _ in range(iters)]
+    return vm, results
+
+
+def test_chaos_triggers_spurious_deopts():
+    vm, results = run_chaos(0.01)
+    assert vm.state.deopts > 0
+    assert all(r == sum(i * 1.0 for i in range(1, 61)) for r in results)
+
+
+def test_chaos_deopt_reason_is_chaos():
+    vm, _ = run_chaos(0.01)
+    assert any(e.details["reason"] == "chaos" for e in vm.state.events_of("deopt"))
+
+
+def test_chaos_results_correct_with_deoptless():
+    vm, results = run_chaos(0.01, deoptless=True)
+    expected = sum(i * 1.0 for i in range(1, 61))
+    assert all(r == expected for r in results)
+    assert vm.state.deoptless_dispatches > 0
+
+
+def test_chaos_deterministic_per_seed():
+    vm1, _ = run_chaos(0.01, seed=13)
+    vm2, _ = run_chaos(0.01, seed=13)
+    assert vm1.state.deopts == vm2.state.deopts
+
+
+def test_chaos_zero_rate_never_deopts():
+    vm, _ = run_chaos(0.0)
+    assert vm.state.deopts == 0
+
+
+def test_chaos_does_not_mark_deopt_sites():
+    """Chaos deopts must not block re-speculation: the guarded fact still
+    holds (the paper's test mode doesn't invalidate the assumption)."""
+    vm, _ = run_chaos(0.01)
+    vm_clo = vm.global_env.get("f")
+    assert not vm_clo.code.deopt_sites, "chaos must not poison site counters"
+
+
+def test_chaos_deoptless_dispatches_reuse_one_continuation():
+    """Because the state at a chaos deopt matches the original assumptions,
+    a single continuation per exit point suffices."""
+    vm, _ = run_chaos(0.02, deoptless=True, iters=10)
+    clo = vm.global_env.get("f")
+    table = clo.jit.deoptless_table
+    assert vm.state.deoptless_dispatches >= vm.state.deoptless_compiles
+    assert len(table) <= 3
+
+
+def test_chaos_interp_share_lower_with_deoptless():
+    """The Figure 6 mechanism: deoptless avoids the interpreter after
+    spurious deopts."""
+    vm_n, _ = run_chaos(0.01, deoptless=False, iters=10)
+    vm_d, _ = run_chaos(0.01, deoptless=True, iters=10)
+    assert vm_d.state.interp_ops < vm_n.state.interp_ops

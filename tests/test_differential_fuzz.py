@@ -1,0 +1,128 @@
+"""Differential fuzzing across tiers.
+
+Generates structured random mini-R programs — loops, conditionals, vector
+reads/writes, helper calls, and *type phase changes* — and checks that the
+pure interpreter, the JIT, and the JIT+deoptless configurations compute
+identical results.  This is the strongest single correctness property the
+reproduction has: speculation, deoptimization and dispatched continuations
+must all be semantics-preserving.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import TIER_CONFIGS, make_vm
+from repro import from_r
+
+
+@st.composite
+def loop_program(draw):
+    """A function with a loop, a conditional, and vector access."""
+    acc_init = draw(st.sampled_from(["0", "0L", "1.5"]))
+    cmp_op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+    arith1 = draw(st.sampled_from(["+", "-", "*"]))
+    arith2 = draw(st.sampled_from(["+", "-"]))
+    threshold = draw(st.integers(-5, 5))
+    use_break = draw(st.booleans())
+    body_extra = "if (i == 4L) break\n" if use_break else ""
+    src = """
+kernel <- function(v, n) {
+  acc <- %s
+  for (i in 1:n) {
+    x <- v[[i]]
+    %sif (x %s %d) acc <- acc %s x
+    else acc <- acc %s 1L
+  }
+  acc
+}
+""" % (acc_init, body_extra, cmp_op, threshold, arith1, arith2)
+    return src
+
+
+vectors = st.lists(st.integers(-8, 8), min_size=1, max_size=7)
+
+
+@given(loop_program(), vectors, st.booleans())
+@settings(max_examples=35, deadline=None)
+def test_loop_kernels_agree_across_tiers(src, xs, as_double):
+    if as_double:
+        vec = "c(%s)" % ", ".join("%d.0" % x for x in xs)
+    else:
+        vec = "c(%s)" % ", ".join("%dL" % x for x in xs)
+    call = "kernel(%s, %dL)" % (vec, len(xs))
+    results = {}
+    for tier, cfg in TIER_CONFIGS.items():
+        vm = make_vm(**cfg)
+        vm.eval(src)
+        r = None
+        for _ in range(3):
+            r = from_r(vm.eval(call))
+        results[tier] = r
+    assert len(set(results.values())) == 1, (src, call, results)
+
+
+@given(loop_program(), vectors, vectors)
+@settings(max_examples=25, deadline=None)
+def test_phase_changes_agree_across_tiers(src, ints, dbls):
+    """Warm up on integers, then switch to doubles, then back: the deopt and
+    deoptless machinery must be invisible in the results."""
+    ivec = "c(%s)" % ", ".join("%dL" % x for x in ints)
+    dvec = "c(%s)" % ", ".join("%d.5" % x for x in dbls)
+    calls = (
+        ["kernel(%s, %dL)" % (ivec, len(ints))] * 4
+        + ["kernel(%s, %dL)" % (dvec, len(dbls))] * 3
+        + ["kernel(%s, %dL)" % (ivec, len(ints))] * 2
+    )
+    per_tier = {}
+    for tier, cfg in TIER_CONFIGS.items():
+        vm = make_vm(**cfg)
+        vm.eval(src)
+        per_tier[tier] = [from_r(vm.eval(c)) for c in calls]
+    assert per_tier["interp"] == per_tier["jit"] == per_tier["deoptless"], src
+
+
+@given(loop_program(), vectors, st.integers(0, 2**31))
+@settings(max_examples=15, deadline=None)
+def test_chaos_mode_is_semantics_preserving(src, xs, seed):
+    """Random assumption failures never change results."""
+    vec = "c(%s)" % ", ".join("%dL" % x for x in xs)
+    call = "kernel(%s, %dL)" % (vec, len(xs))
+    vm_ref = make_vm(enable_jit=False)
+    vm_ref.eval(src)
+    expected = from_r(vm_ref.eval(call))
+    for deoptless in (False, True):
+        vm = make_vm(chaos_rate=0.02, chaos_seed=seed,
+                     enable_deoptless=deoptless, compile_threshold=1)
+        vm.eval(src)
+        for _ in range(5):
+            assert from_r(vm.eval(call)) == expected
+
+
+@st.composite
+def call_chain_program(draw):
+    """Two helpers and a driver; the callee identities vary."""
+    op1 = draw(st.sampled_from(["+", "*", "-"]))
+    op2 = draw(st.sampled_from(["+", "*", "-"]))
+    k1 = draw(st.integers(1, 4))
+    k2 = draw(st.integers(1, 4))
+    return """
+h1 <- function(x) x %s %dL
+h2 <- function(x) x %s %dL
+drive <- function(g, n) {
+  s <- 0L
+  for (i in 1:n) s <- s + g(i)
+  s
+}
+""" % (op1, k1, op2, k2)
+
+
+@given(call_chain_program(), st.integers(1, 8))
+@settings(max_examples=20, deadline=None)
+def test_call_target_changes_agree_across_tiers(src, n):
+    calls = (["drive(h1, %dL)" % n] * 4 + ["drive(h2, %dL)" % n] * 3
+             + ["drive(h1, %dL)" % n])
+    per_tier = {}
+    for tier, cfg in TIER_CONFIGS.items():
+        vm = make_vm(**cfg)
+        vm.eval(src)
+        per_tier[tier] = [from_r(vm.eval(c)) for c in calls]
+    assert per_tier["interp"] == per_tier["jit"] == per_tier["deoptless"], src

@@ -1,0 +1,82 @@
+"""Tests for first-class environments."""
+
+import pytest
+
+from repro.runtime.env import REnvironment
+from repro.runtime.values import RBuiltin, RError, mk_int
+
+
+def test_get_local_and_parent_chain():
+    parent = REnvironment()
+    parent.set("x", mk_int(1))
+    child = REnvironment(parent)
+    assert child.get("x").data == [1]
+    child.set("x", mk_int(2))
+    assert child.get("x").data == [2]
+    assert parent.get("x").data == [1]
+
+
+def test_missing_variable_raises():
+    with pytest.raises(RError, match="not found"):
+        REnvironment().get("nope")
+
+
+def test_has():
+    e = REnvironment()
+    e.set("a", mk_int(1))
+    assert e.has("a") and not e.has("b")
+    child = REnvironment(e)
+    assert child.has("a")
+
+
+def test_none_value_binding_is_found():
+    # a binding whose value is None must still count as bound
+    e = REnvironment()
+    e.set("x", None)
+    assert e.get("x") is None
+
+
+def test_set_super_writes_nearest_enclosing():
+    g = REnvironment()
+    g.set("n", mk_int(0))
+    mid = REnvironment(g)
+    leaf = REnvironment(mid)
+    leaf.set_super("n", mk_int(5))
+    assert g.get("n").data == [5]
+    assert "n" not in leaf.bindings
+
+
+def test_set_super_falls_back_to_outermost():
+    g = REnvironment()
+    leaf = REnvironment(g)
+    leaf.set_super("fresh", mk_int(1))
+    assert g.get("fresh").data == [1]
+
+
+def test_get_function_skips_non_functions():
+    base = REnvironment()
+    fn = RBuiltin("f", lambda a, vm: None)
+    base.set("f", fn)
+    child = REnvironment(base)
+    child.set("f", mk_int(1))  # shadow with a non-function
+    assert child.get_function("f") is fn
+
+
+def test_get_function_missing_raises():
+    with pytest.raises(RError, match="could not find function"):
+        REnvironment().get_function("g")
+
+
+def test_depth():
+    a = REnvironment()
+    b = REnvironment(a)
+    c = REnvironment(b)
+    assert a.depth() == 0 and c.depth() == 2
+
+
+def test_remove():
+    e = REnvironment()
+    e.set("x", mk_int(1))
+    e.remove("x")
+    assert not e.has("x")
+    e.remove("x")  # idempotent

@@ -1,0 +1,39 @@
+"""Smoke tests: the shipped examples must run end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_example(name: str, timeout: int = 180) -> str:
+    out = subprocess.run(
+        [sys.executable, os.path.join(ROOT, "examples", name)],
+        capture_output=True, text=True, timeout=timeout,
+        cwd=ROOT,
+    )
+    assert out.returncode == 0, out.stderr[-2000:]
+    return out.stdout
+
+
+def test_quickstart_runs():
+    out = run_example("quickstart.py")
+    assert "fib(20L) = 6765" in out
+    assert "deoptless dispatches" in out
+
+
+def test_deoptless_demo_runs():
+    out = run_example("deoptless_demo.py", timeout=300)
+    assert "final float phase" in out
+    assert "deoptless_dispatch" in out
+
+
+def test_jit_inspector_runs():
+    out = run_example("jit_inspector.py")
+    assert "BYTECODE" in out
+    assert "Assume" in out
+    assert "DEOPTLESS DISPATCH TABLE" in out
+    assert "typecheck" in out

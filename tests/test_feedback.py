@@ -1,0 +1,129 @@
+"""Tests for type-feedback recording and its consumption rules."""
+
+from repro.bytecode.feedback import (
+    BinopFeedback,
+    BranchFeedback,
+    CallFeedback,
+    MAX_CALL_TARGETS,
+    ObservedType,
+)
+from repro.runtime.rtypes import ANY, Kind
+from repro.runtime.values import RVector, mk_dbl, mk_int
+from conftest import make_vm
+
+
+def test_observed_type_monomorphic():
+    fb = ObservedType()
+    fb.record(mk_int(1))
+    fb.record(mk_int(2))
+    assert fb.monomorphic_kind == Kind.INT
+    assert fb.all_scalar and not fb.saw_na
+
+
+def test_observed_type_polymorphic():
+    fb = ObservedType()
+    fb.record(mk_int(1))
+    fb.record(mk_dbl(1.0))
+    assert fb.monomorphic_kind is None
+    assert fb.as_rtype().kind == Kind.DBL  # lub of int and dbl
+
+
+def test_observed_type_scalar_flag_drops_on_vector():
+    fb = ObservedType()
+    fb.record(RVector.integer([1, 2]))
+    assert not fb.all_scalar
+
+
+def test_observed_type_na_scalar_recorded():
+    fb = ObservedType()
+    fb.record(mk_int(None))
+    assert fb.saw_na
+
+
+def test_stale_slot_reports_any_and_no_monomorphic():
+    fb = ObservedType()
+    fb.record(mk_int(1))
+    fb.stale = True
+    assert fb.monomorphic_kind is None
+    assert fb.as_rtype() == ANY
+
+
+def test_inject_replaces_observation():
+    fb = ObservedType()
+    fb.record(mk_int(1))
+    from repro.runtime.rtypes import scalar
+
+    fb.inject(scalar(Kind.DBL))
+    assert fb.monomorphic_kind == Kind.DBL
+    assert not fb.stale
+
+
+def test_copy_is_independent():
+    fb = ObservedType()
+    fb.record(mk_int(1))
+    c = fb.copy()
+    c.stale = True
+    c.record(mk_dbl(1.0))
+    assert not fb.stale and fb.monomorphic_kind == Kind.INT
+
+
+def test_binop_feedback_tracks_both_sides():
+    fb = BinopFeedback()
+    fb.record(mk_int(1), mk_dbl(2.0))
+    assert fb.lhs.monomorphic_kind == Kind.INT
+    assert fb.rhs.monomorphic_kind == Kind.DBL
+
+
+def test_call_feedback_monomorphic_then_polymorphic():
+    fb = CallFeedback()
+    a, b = object(), object()
+    fb.record(a)
+    fb.record(a)
+    assert fb.monomorphic_target is a
+    fb.record(b)
+    assert fb.monomorphic_target is None
+
+
+def test_call_feedback_megamorphic_cutoff():
+    fb = CallFeedback()
+    for i in range(MAX_CALL_TARGETS + 1):
+        fb.record(object())
+    assert fb.megamorphic and fb.targets == []
+
+
+def test_branch_feedback_bias():
+    fb = BranchFeedback()
+    for _ in range(5):
+        fb.record(True)
+    assert fb.bias is True
+    fb.record(False)
+    assert fb.bias is None
+
+
+def test_branch_feedback_false_bias():
+    fb = BranchFeedback()
+    fb.record(False)
+    fb.record(False)
+    assert fb.bias is False
+
+
+def test_interpreter_records_feedback_at_sites():
+    from repro.bytecode import opcodes as O
+
+    vm = make_vm(enable_jit=False)
+    vm.eval("f <- function(v, n) { s <- 0\nfor (i in 1:n) s <- s + v[[i]]\ns }")
+    vm.eval("f(c(1.5, 2.5), 2L)")
+    clo = vm.global_env.get("f")
+    kinds = {}
+    for pc, fb in clo.code.feedback.items():
+        kinds.setdefault(type(fb).__name__, 0)
+        kinds[type(fb).__name__] += 1
+    assert kinds.get("ObservedType", 0) > 0  # LD_VAR sites
+    assert kinds.get("BinopFeedback", 0) > 0  # arithmetic/index sites
+    assert kinds.get("BranchFeedback", 0) > 0  # the loop condition
+    # the INDEX2 site observed a double vector
+    index_sites = [
+        fb for pc, fb in clo.code.feedback.items()
+        if clo.code.code[pc][0] == O.INDEX2 and isinstance(fb, BinopFeedback)
+    ]
+    assert any(fb.lhs.monomorphic_kind == Kind.DBL for fb in index_sites)

@@ -1,0 +1,163 @@
+"""Tests for the deoptless feedback cleanup + inference (section 4.3,
+"Incomplete Profile Data")."""
+
+from conftest import make_vm
+from repro import from_r
+from repro.bytecode import opcodes as O
+from repro.bytecode.feedback import BinopFeedback, ObservedType
+from repro.deoptless.context import compute_context
+from repro.deoptless.feedback_repair import repair_feedback
+from repro.osr.framestate import DeoptReason, DeoptReasonKind, FrameState
+from repro.runtime.rtypes import Kind, scalar, vector
+from repro.runtime.values import mk_dbl, mk_int
+
+
+POWMOD_SRC = """
+powmod <- function(base, exp, mod) {
+  result <- 1L
+  b <- base %% mod
+  e <- exp
+  while (e > 0L) {
+    if (e %% 2L == 1L) result <- (result * b) %% mod
+    e <- e %/% 2L
+    b <- (b * b) %% mod
+  }
+  result
+}
+"""
+
+
+def warmed_powmod():
+    vm = make_vm(enable_jit=False)
+    vm.eval(POWMOD_SRC)
+    for i in range(4):
+        vm.eval("powmod(%dL, 13L, 497L)" % (i + 2))
+    return vm, vm.global_env.get("powmod")
+
+
+def _ld_var_pcs(code, name):
+    return [
+        pc for pc, ins in enumerate(code.code)
+        if ins[0] == O.LD_VAR and code.names[ins[1]] == name
+    ]
+
+
+def _fs_at(code, pc, env_values, fun=None):
+    return FrameState(code, pc, env_values, [], None, fun=fun)
+
+
+def test_reason_slot_injected_with_observed_type():
+    vm, clo = warmed_powmod()
+    code = clo.code
+    exp_pc = _ld_var_pcs(code, "exp")[0]
+    env = {"base": mk_int(3), "exp": mk_dbl(13.0), "mod": mk_int(497),
+           "result": mk_int(1), "b": mk_int(3)}
+    reason = DeoptReason(DeoptReasonKind.TYPECHECK, exp_pc, observed=scalar(Kind.DBL))
+    ctx = compute_context(_fs_at(code, exp_pc, env), reason, vm.config)
+    repaired = repair_feedback(code, reason, ctx)
+    slot = repaired[exp_pc]
+    assert isinstance(slot, ObservedType)
+    assert slot.monomorphic_kind == Kind.DBL
+
+
+def test_dependent_variable_loads_marked_stale():
+    """`e <- exp`: after exp's typecheck fails, e's (int) feedback is stale
+    — "the type-feedback for operations involving that variable is probably
+    wrong too"."""
+    vm, clo = warmed_powmod()
+    code = clo.code
+    exp_pc = _ld_var_pcs(code, "exp")[0]
+    env = {"base": mk_int(3), "exp": mk_dbl(13.0), "mod": mk_int(497),
+           "result": mk_int(1), "b": mk_int(3)}
+    reason = DeoptReason(DeoptReasonKind.TYPECHECK, exp_pc, observed=scalar(Kind.DBL))
+    ctx = compute_context(_fs_at(code, exp_pc, env), reason, vm.config)
+    repaired = repair_feedback(code, reason, ctx)
+    for pc in _ld_var_pcs(code, "e"):
+        fb = repaired.get(pc)
+        if isinstance(fb, ObservedType) and fb.kinds:
+            assert fb.stale or fb.monomorphic_kind != Kind.INT
+
+
+def test_contradicted_variable_gets_actual_type_injected():
+    vm, clo = warmed_powmod()
+    code = clo.code
+    exp_pc = _ld_var_pcs(code, "exp")[0]
+    # `e` IS bound (deopt later in the function) and holds a double now
+    env = {"base": mk_int(3), "exp": mk_dbl(13.0), "mod": mk_int(497),
+           "result": mk_int(1), "b": mk_int(3), "e": mk_dbl(13.0)}
+    reason = DeoptReason(DeoptReasonKind.TYPECHECK, exp_pc, observed=scalar(Kind.DBL))
+    ctx = compute_context(_fs_at(code, exp_pc, env), reason, vm.config)
+    repaired = repair_feedback(code, reason, ctx)
+    for pc in _ld_var_pcs(code, "e"):
+        fb = repaired.get(pc)
+        if isinstance(fb, ObservedType) and fb.kinds and not fb.stale:
+            assert fb.monomorphic_kind == Kind.DBL
+
+
+def test_binop_sites_consuming_tainted_var_marked_stale():
+    vm, clo = warmed_powmod()
+    code = clo.code
+    exp_pc = _ld_var_pcs(code, "exp")[0]
+    env = {"base": mk_int(3), "exp": mk_dbl(13.0), "mod": mk_int(497),
+           "result": mk_int(1), "b": mk_int(3)}
+    reason = DeoptReason(DeoptReasonKind.TYPECHECK, exp_pc, observed=scalar(Kind.DBL))
+    ctx = compute_context(_fs_at(code, exp_pc, env), reason, vm.config)
+    repaired = repair_feedback(code, reason, ctx)
+    # `e %% 2L` and `e %/% 2L` sites must not be trusted anymore
+    stale_binops = [
+        fb for pc, fb in repaired.items()
+        if isinstance(fb, BinopFeedback) and fb.stale
+    ]
+    assert stale_binops
+
+
+def test_original_feedback_untouched():
+    vm, clo = warmed_powmod()
+    code = clo.code
+    exp_pc = _ld_var_pcs(code, "exp")[0]
+    env = {"base": mk_int(3), "exp": mk_dbl(13.0), "mod": mk_int(497),
+           "result": mk_int(1), "b": mk_int(3)}
+    reason = DeoptReason(DeoptReasonKind.TYPECHECK, exp_pc, observed=scalar(Kind.DBL))
+    ctx = compute_context(_fs_at(code, exp_pc, env), reason, vm.config)
+    repair_feedback(code, reason, ctx)
+    for fb in code.feedback.values():
+        assert not getattr(fb, "stale", False)
+        if isinstance(fb, ObservedType) and fb.kinds:
+            assert Kind.DBL not in fb.kinds or fb.count > 4  # untouched
+
+
+def test_call_target_reason_injects_new_target():
+    vm = make_vm(enable_jit=False)
+    vm.eval("h1 <- function(x) x\nh2 <- function(x) x\ncaller <- function(g) g(1)")
+    for _ in range(3):
+        vm.eval("caller(h1)")
+    clo = vm.global_env.get("caller")
+    code = clo.code
+    call_pc = [pc for pc, ins in enumerate(code.code) if ins[0] == O.CALL][0]
+    h2 = vm.global_env.get("h2")
+    reason = DeoptReason(DeoptReasonKind.CALL_TARGET, call_pc, observed=h2)
+    env = {"g": h2}
+    ctx = compute_context(_fs_at(code, call_pc, env), reason, vm.config)
+    repaired = repair_feedback(code, reason, ctx)
+    assert repaired[call_pc].monomorphic_target is h2
+
+
+def test_end_to_end_continuation_does_not_misspeculate():
+    """The full section 4.3 scenario: the continuation compiled right after
+    the exp typecheck failure must run without further deopts."""
+    vm = make_vm(enable_deoptless=True, compile_threshold=2)
+    vm.eval(POWMOD_SRC)
+    for i in range(5):
+        vm.eval("powmod(%dL, 13L, 497L)" % (i + 2))
+    r = vm.eval("powmod(3L, 13.0, 497L)")  # key becomes double
+    assert from_r(r) == pow(3, 13, 497)
+    # repeated double calls keep dispatching to the same surviving
+    # continuation; nothing is "deoptimized for good"
+    for _ in range(4):
+        vm.eval("powmod(3L, 13.0, 497L)")
+    assert vm.state.deoptless_compiles == 1
+    from_cont = [e for e in vm.state.events_of("deopt")
+                 if e.details.get("from_continuation")]
+    assert not from_cont
+    clo = vm.global_env.get("powmod")
+    assert clo.jit.version is not None

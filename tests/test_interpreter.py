@@ -1,0 +1,279 @@
+"""End-to-end language semantics on the baseline interpreter, plus
+cross-tier agreement for the trickier programs."""
+
+import pytest
+
+from conftest import assert_all_tiers, ev
+from repro.runtime.values import RError
+
+
+# -- basics ---------------------------------------------------------------------
+
+def test_arithmetic_expression():
+    assert ev("1 + 2 * 3") == 7.0
+
+
+def test_variable_assignment_returns_value():
+    assert ev("x <- 5") == 5.0
+
+
+def test_assignment_usable_in_expression():
+    assert ev("y <- (x <- 3) + 1\ny") == 4.0
+
+
+def test_right_assign():
+    assert ev("7 -> z\nz") == 7.0
+
+
+def test_if_else_value():
+    assert ev("if (TRUE) 1 else 2") == 1.0
+    assert ev("if (FALSE) 1 else 2") == 2.0
+
+
+def test_if_without_else_value_null():
+    assert ev("if (FALSE) 1") is None
+
+
+def test_while_loop():
+    assert ev("i <- 0L\nwhile (i < 10L) i <- i + 1L\ni") == 10
+
+
+def test_for_loop_over_range():
+    assert ev("s <- 0L\nfor (i in 1:10) s <- s + i\ns") == 55
+
+
+def test_for_loop_over_vector_elements():
+    assert ev("s <- 0\nfor (x in c(1.5, 2.5)) s <- s + x\ns") == 4.0
+
+
+def test_for_loop_over_list():
+    assert ev("n <- 0L\nfor (el in list(1:2, 1:3)) n <- n + length(el)\nn") == 5
+
+
+def test_for_loop_value_is_null():
+    assert ev("for (i in 1:3) i") is None
+
+
+def test_repeat_with_break():
+    assert ev("i <- 0L\nrepeat { i <- i + 1L\nif (i >= 4L) break }\ni") == 4
+
+
+def test_next_skips():
+    assert ev("s <- 0L\nfor (i in 1:10) { if (i %% 2L == 0L) next\ns <- s + i }\ns") == 25
+
+
+def test_break_out_of_nested_loop_only_inner():
+    src = """
+count <- 0L
+for (i in 1:3) {
+  for (j in 1:10) {
+    if (j > 2L) break
+    count <- count + 1L
+  }
+}
+count
+"""
+    assert ev(src) == 6
+
+
+def test_short_circuit_and_or():
+    assert ev("FALSE && stop(\"never\")") is False
+    assert ev("TRUE || stop(\"never\")") is True
+    assert ev("TRUE && FALSE") is False
+
+
+def test_condition_errors():
+    with pytest.raises(RError):
+        ev("if (c(1,2)[0]) 1")  # length-zero condition
+    with pytest.raises(RError):
+        ev("if (NA) 1")
+
+
+# -- functions --------------------------------------------------------------------
+
+def test_function_call_and_return():
+    assert ev("f <- function(x) x * 2\nf(21)") == 42.0
+
+
+def test_explicit_return():
+    assert ev("f <- function(x) { if (x > 0) return(\"pos\")\n\"neg\" }\nf(1)") == "pos"
+
+
+def test_default_arguments():
+    assert ev("f <- function(a, b = 10) a + b\nf(1)") == 11.0
+
+
+def test_default_referencing_not_needed_when_supplied():
+    assert ev("f <- function(a, b = a * 2) a + b\nf(1, 5)") == 6.0
+
+
+def test_named_argument_matching():
+    assert ev("f <- function(a, b) a - b\nf(b = 1, a = 10)") == 9.0
+
+
+def test_named_and_positional_mix():
+    assert ev("f <- function(a, b, c) a * 100 + b * 10 + c\nf(1, c = 3, 2)") == 123.0
+
+
+def test_too_many_arguments_error():
+    with pytest.raises(RError):
+        ev("f <- function(a) a\nf(1, 2)")
+
+
+def test_missing_required_argument_error():
+    with pytest.raises(RError):
+        ev("f <- function(a) a\nf()")
+
+
+def test_closure_captures_definition_env():
+    src = """
+make_adder <- function(n) function(x) x + n
+add5 <- make_adder(5)
+add5(10)
+"""
+    assert ev(src) == 15.0
+
+
+def test_counter_with_superassign():
+    src = """
+counter <- function() {
+  n <- 0L
+  function() { n <<- n + 1L\nn }
+}
+c1 <- counter()
+c2 <- counter()
+c1(); c1(); c1()
+c2()
+c1() * 10L + c2()
+"""
+    # c1 has been called 4 times, c2 twice
+    assert ev(src) == 42
+
+
+def test_recursion():
+    assert ev("fact <- function(n) if (n <= 1L) 1L else n * fact(n - 1L)\nfact(10L)") == 3628800
+
+
+def test_mutual_recursion():
+    src = """
+is_even <- function(n) if (n == 0L) TRUE else is_odd(n - 1L)
+is_odd <- function(n) if (n == 0L) FALSE else is_even(n - 1L)
+is_even(10L)
+"""
+    assert ev(src) is True
+
+
+def test_function_as_argument():
+    src = """
+apply_twice <- function(f, x) f(f(x))
+apply_twice(function(v) v + 1, 0)
+"""
+    assert ev(src) == 2.0
+
+
+def test_lazy_argument_not_evaluated_when_unused():
+    # effectful (call-containing) arguments are promises; unused => no effect
+    src = """
+f <- function(a, b) a
+f(1, stop("never evaluated"))
+"""
+    assert ev(src) == 1.0
+
+
+def test_lazy_argument_evaluated_once():
+    src = """
+count <- 0L
+bump <- function() { count <<- count + 1L\ncount }
+f <- function(x) x + x + x
+f(bump())
+count
+"""
+    assert ev(src) == 1
+
+
+# -- vectors and aliasing ------------------------------------------------------------
+
+def test_value_semantics_on_assignment():
+    assert ev("a <- c(1L,2L)\nb <- a\nb[[1]] <- 9L\na[[1]]") == 1
+
+
+def test_value_semantics_for_call_arguments():
+    src = """
+f <- function(v) { v[[1]] <- 99L\nv[[1]] }
+x <- c(1L, 2L)
+f(x)
+x[[1]]
+"""
+    assert ev(src) == 1
+
+
+def test_in_place_growth_pattern():
+    assert ev("res <- c()\nfor (i in 1:4) res[[i]] <- i * i\nres") == [1, 4, 9, 16]
+
+
+def test_vector_retype_through_assignment():
+    assert ev("v <- c(1L, 2L)\nv[[1]] <- 0.5\nv") == [0.5, 2.0]
+
+
+def test_single_bracket_subset():
+    assert ev("x <- 10:20\nx[c(1L, 3L)]") == [10, 12]
+
+
+def test_logical_mask_subset():
+    assert ev("x <- 1:6\nx[x %% 2L == 0L]") == [2, 4, 6]
+
+
+def test_nested_index_assignment():
+    src = """
+t <- list(c(1L, 2L), c(3L, 4L))
+t[[2]][[1]] <- 99L
+t[[2]][[1]] + t[[1]][[1]]
+"""
+    assert ev(src) == 100
+
+
+def test_list_of_lists():
+    src = """
+m <- list(list(1L, 2L), list(3L, 4L))
+m[[2]][[2]]
+"""
+    assert ev(src) == 4
+
+
+# -- cross-tier agreement -----------------------------------------------------------
+
+def test_tiers_agree_fibonacci():
+    assert_all_tiers("fib <- function(n) if (n < 2L) n else fib(n-1L) + fib(n-2L)\nfib(15L)", 610, repeat=2)
+
+
+def test_tiers_agree_vector_sum_loop():
+    src = """
+f <- function(v, n) { s <- 0\nfor (i in 1:n) s <- s + v[[i]]\ns }
+x <- numeric(50)
+for (i in 1:50) x[[i]] <- i * 0.5
+total <- 0
+for (k in 1:5) total <- total + f(x, 50L)
+total
+"""
+    assert_all_tiers(src, 5 * sum(i * 0.5 for i in range(1, 51)))
+
+
+def test_tiers_agree_string_building():
+    src = """
+f <- function(n) { s <- ""
+for (i in 1:n) s <- paste0(s, "x")
+nchar(s) }
+f(5L) + f(7L) + f(9L)
+"""
+    assert_all_tiers(src, 21)
+
+
+def test_tiers_agree_type_transition():
+    src = """
+f <- function(v, n) { s <- 0\nfor (i in 1:n) s <- s + v[[i]]\ns }
+a <- 0
+for (k in 1:4) a <- a + f(c(1L,2L,3L), 3L)
+for (k in 1:4) a <- a + f(c(1.5,2.5), 2L)
+a
+"""
+    assert_all_tiers(src, 4 * 6 + 4 * 4.0)

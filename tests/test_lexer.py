@@ -1,0 +1,142 @@
+"""Unit tests for the mini-R lexer."""
+
+import pytest
+
+from repro.rlang.lexer import LexError, tokenize
+
+
+def types(src):
+    return [t.type for t in tokenize(src) if t.type != "EOF"]
+
+
+def values(src):
+    return [t.value for t in tokenize(src) if t.type != "EOF"]
+
+
+def test_empty_input():
+    toks = tokenize("")
+    assert len(toks) == 1 and toks[0].type == "EOF"
+
+
+def test_simple_number():
+    toks = tokenize("42")
+    assert toks[0].type == "NUM" and toks[0].value == "42"
+
+
+def test_float_number():
+    assert tokenize("3.14")[0].value == "3.14"
+
+
+def test_leading_dot_number():
+    assert tokenize(".5")[0].type == "NUM"
+
+
+def test_integer_literal_L_suffix():
+    t = tokenize("42L")[0]
+    assert t.type == "INT" and t.value == "42"
+
+
+def test_complex_literal_i_suffix():
+    t = tokenize("2i")[0]
+    assert t.type == "COMPLEX" and t.value == "2"
+
+
+def test_scientific_notation():
+    assert tokenize("1e5")[0].value == "1e5"
+    assert tokenize("1.5e-3")[0].value == "1.5e-3"
+    assert tokenize("2E+4")[0].value == "2E+4"
+
+
+def test_hex_number():
+    assert tokenize("0xFF")[0].value == "0xFF"
+
+
+def test_identifier_with_dots_and_underscores():
+    toks = tokenize("my.var_name2")
+    assert toks[0].type == "IDENT" and toks[0].value == "my.var_name2"
+
+
+def test_dot_leading_identifier():
+    assert tokenize(".hidden")[0].type == "IDENT"
+
+
+def test_keywords_recognized():
+    for kw in ("function", "if", "else", "for", "while", "repeat", "break", "next"):
+        assert tokenize(kw)[0].type == "KW", kw
+
+
+def test_true_false_null_na():
+    assert [t.type for t in tokenize("TRUE FALSE NULL NA")[:4]] == ["KW"] * 4
+
+
+def test_strings_double_and_single_quotes():
+    assert tokenize('"hello"')[0].value == "hello"
+    assert tokenize("'world'")[0].value == "world"
+
+
+def test_string_escapes():
+    assert tokenize(r'"a\nb"')[0].value == "a\nb"
+    assert tokenize(r'"t\tt"')[0].value == "t\tt"
+    assert tokenize(r'"q\"q"')[0].value == 'q"q'
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize('"oops')
+
+
+def test_multi_char_operators_maximal_munch():
+    assert values("<<- <- <= < ==") == ["<<-", "<-", "<=", "<", "=="]
+    assert values("%% %/%") == ["%%", "%/%"]
+    assert values("&& &") == ["&&", "&"]
+
+
+def test_right_assign():
+    assert values("1 -> x") == ["1", "->", "x"]
+
+
+def test_double_bracket_single_token_open_only():
+    # `[[` lexes as one token but `]]` must be two `]` tokens
+    vs = values("x[[i]]")
+    assert "[[" in vs
+    assert vs.count("]") == 2
+    assert "]]" not in vs
+
+
+def test_comments_stripped():
+    assert types("1 # a comment\n2") == ["NUM", "NEWLINE", "NUM"]
+
+
+def test_newline_tokens_emitted():
+    assert types("a\nb") == ["IDENT", "NEWLINE", "IDENT"]
+
+
+def test_backtick_identifier():
+    t = tokenize("`my weird name`")[0]
+    assert t.type == "IDENT" and t.value == "my weird name"
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("a ~ b")
+
+
+def test_line_and_column_tracking():
+    toks = tokenize("a\n  b")
+    assert toks[0].line == 1 and toks[0].col == 1
+    b = [t for t in toks if t.value == "b"][0]
+    assert b.line == 2 and b.col == 3
+
+
+def test_semicolon_operator():
+    assert ";" in values("a; b")
+
+
+def test_na_typed_literals():
+    vs = values("NA_integer_ NA_real_ NA_character_")
+    assert vs == ["NA_integer_", "NA_real_", "NA_character_"]
+
+
+def test_number_followed_by_colon_range():
+    # `1:5` must not lex 1 as part of an identifier or eat the colon
+    assert values("1:5") == ["1", ":", "5"]

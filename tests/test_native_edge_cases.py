@@ -1,0 +1,147 @@
+"""Edge-case tests for individual native ops and the CLI entry point."""
+
+import math
+
+import pytest
+
+from conftest import assert_all_tiers, make_vm
+from repro import from_r
+
+
+def warmed(src, call, times=4, **cfg):
+    cfg.setdefault("compile_threshold", 1)
+    vm = make_vm(**cfg)
+    vm.eval(src)
+    r = None
+    for _ in range(times):
+        r = vm.eval(call)
+    return vm, from_r(r)
+
+
+def test_ppow_int_int_is_double_representation():
+    """2L ^ 3L is a double in R; the native register must hold a float so
+    boxing produces a well-formed double vector."""
+    vm, r = warmed("f <- function(a, b) a ^ b\n", "f(2L, 3L)")
+    assert r == 8.0 and isinstance(r, float)
+
+
+def test_pow_zero_negative_exponent_inf():
+    assert_all_tiers("f <- function(a, b) a ^ b\nf(0, -1)", math.inf, repeat=3)
+
+
+def test_vstore_retype_falls_back_to_generic():
+    """Storing a double into an int vector inside native code retypes the
+    vector through the generic path."""
+    src = """
+f <- function() {
+  v <- integer(3)
+  for (i in 1:3) v[[i]] <- i
+  v[[2]] <- 0.5
+  v[[2]]
+}
+f()
+"""
+    assert_all_tiers(src, 0.5, repeat=4)
+
+
+def test_vstore_growth_in_native_code():
+    src = """
+f <- function(n) {
+  v <- integer(2)
+  for (i in 1:n) v[[i]] <- i
+  length(v)
+}
+"""
+    assert_all_tiers(src + "f(7L)", 7, repeat=4)
+
+
+def test_superassign_from_native_code():
+    src = """
+counter <- 0L
+bump_many <- function(n) {
+  for (i in 1:n) counter <<- counter + 1L
+  counter
+}
+"""
+    vm, r = warmed(src, "bump_many(10L)", times=4)
+    assert r == 40
+    assert from_r(vm.eval("counter")) == 40
+
+
+def test_guarded_mod_zero_divisor_deopts_to_na():
+    vm, r = warmed("f <- function(a, b) a %% b\n", "f(7L, 3L)")
+    assert r == 1
+    assert from_r(vm.eval("f(7L, 0L)")) is None  # NA via deopt
+    assert vm.state.deopts >= 1
+
+
+def test_float_mod_zero_is_nan_without_deopt():
+    vm, r = warmed("f <- function(a, b) a %% b\n", "f(7.5, 3.0)")
+    deopts = vm.state.deopts
+    assert math.isnan(from_r(vm.eval("f(7.5, 0.0)")))
+    assert vm.state.deopts == deopts
+
+
+def test_bounds_error_identical_across_tiers():
+    from repro.runtime.values import RError
+
+    for cfg in (dict(enable_jit=False), dict(compile_threshold=1)):
+        vm = make_vm(**cfg)
+        vm.eval("f <- function(v, i) v[[i]]")
+        for _ in range(3):
+            assert from_r(vm.eval("f(c(1L,2L), 2L)")) == 2
+        with pytest.raises(RError, match="subscript out of bounds"):
+            vm.eval("f(c(1L,2L), 3L)")
+        with pytest.raises(RError, match="subscript out of bounds"):
+            vm.eval("f(c(1L,2L), 0L)")
+
+
+def test_logical_arith_in_native_code():
+    assert_all_tiers("f <- function(a, b) (a > b) + (b > a)\nf(2L, 1L)", 1, repeat=4)
+
+
+def test_string_comparison_in_native_code():
+    assert_all_tiers('f <- function(a, b) a < b\nf("apple", "banana")', True, repeat=4)
+
+
+def test_deeply_nested_calls_through_tiers():
+    src = """
+l1 <- function(x) x + 1L
+l2 <- function(x) l1(x) * 2L
+l3 <- function(x) l2(x) + l1(x)
+l4 <- function(x) l3(x) - l2(x)
+l4(5L)
+"""
+    assert_all_tiers(src, 6, repeat=5)
+
+
+def test_native_code_invalidated_mid_recursion():
+    """A deopt inside a recursive call tower: inner activations tier down
+    while outer native activations are still on the Python stack."""
+    src = """
+walk <- function(v, i) {
+  if (i > length(v)) 0
+  else v[[i]] + walk(v, i + 1L)
+}
+"""
+    vm = make_vm(compile_threshold=1)
+    vm.eval(src)
+    vm.eval("xi <- c(1L, 2L, 3L, 4L)")
+    for _ in range(4):
+        assert from_r(vm.eval("walk(xi, 1L)")) == 10
+    # switch to doubles: some activation deopts mid-tower
+    assert from_r(vm.eval("walk(c(1.5, 2.5), 1L)")) == 4.0
+    assert from_r(vm.eval("walk(xi, 1L)")) == 10
+
+
+def test_bench_cli_subset():
+    from repro.bench.__main__ import main
+
+    assert main(["--only", "fig10", "--scale", "test"]) == 0
+
+
+def test_bench_cli_rejects_unknown():
+    from repro.bench.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["--only", "not_a_figure"])

@@ -1,0 +1,187 @@
+"""Tests for the optimization passes: simplify, DCE (framestate liveness),
+and the continuation-aware DSE."""
+
+from conftest import make_vm
+from repro.ir import instructions as I
+from repro.ir.builder import GraphBuilder
+from repro.ir.cfg import Graph
+from repro.opt.dce import dce
+from repro.opt.dse import dse
+from repro.opt.simplify import simplify
+from repro.osr.framestate import FrameStateDescr
+from repro.runtime.rtypes import ANY, Kind, RType, scalar
+
+
+def mini_graph():
+    g = Graph("t")
+    bb = g.new_block()
+    return g, bb
+
+
+def test_dce_removes_unused_pure_instruction():
+    g, bb = mini_graph()
+    a = bb.append(I.Const(1.0, scalar(Kind.DBL)))
+    dead = bb.append(I.Box(Kind.DBL, a))
+    live = bb.append(I.Box(Kind.DBL, a))
+    bb.append(I.Return(live))
+    removed = dce(g)
+    assert removed == 1
+    assert dead not in bb.instrs and live in bb.instrs
+
+
+def test_dce_keeps_values_referenced_only_by_framestates():
+    """The paper's metadata obligation: values alive only for deoptimization
+    must survive DCE."""
+    g, bb = mini_graph()
+    a = bb.append(I.Const(1.0, scalar(Kind.DBL)))
+    only_in_fs = bb.append(I.Box(Kind.DBL, a))
+    cond = bb.append(I.Const(True, scalar(Kind.LGL)))
+    cond.unboxed = True
+
+    class FakeCode:
+        name = "f"
+
+    fs = FrameStateDescr(FakeCode(), 3, [("x", only_in_fs)], [])
+    from repro.osr.framestate import DeoptReasonKind
+
+    bb.append(I.Assume(cond, fs, DeoptReasonKind.TYPECHECK, 3))
+    bb.append(I.Return(a))
+    dce(g)
+    assert only_in_fs in bb.instrs
+
+
+def test_simplify_folds_constant_arith():
+    g, bb = mini_graph()
+    a = bb.append(I.Const(2.0, scalar(Kind.DBL)))
+    a.unboxed = True
+    b = bb.append(I.Const(3.0, scalar(Kind.DBL)))
+    b.unboxed = True
+    add = bb.append(I.PrimArith("+", Kind.DBL, a, b))
+    box = bb.append(I.Box(Kind.DBL, add))
+    bb.append(I.Return(box))
+    simplify(g)
+    consts = [i for i in bb.instrs if isinstance(i, I.Const)]
+    assert any(i.value == 5.0 for i in consts)
+
+
+def test_simplify_removes_box_unbox_pair():
+    g, bb = mini_graph()
+    a = bb.append(I.Const(2.0, scalar(Kind.DBL)))
+    a.unboxed = True
+    boxed = bb.append(I.Box(Kind.DBL, a))
+    unboxed = bb.append(I.Unbox(Kind.DBL, boxed))
+    r = bb.append(I.Box(Kind.DBL, unboxed))
+    bb.append(I.Return(r))
+    simplify(g)
+    dce(g)
+    # the round trip collapsed: at most one box remains
+    assert sum(isinstance(i, (I.Box, I.Unbox)) for i in bb.instrs) <= 1
+
+
+def test_simplify_removes_self_referential_phi():
+    g = Graph("t")
+    b0 = g.new_block()
+    b1 = g.new_block()
+    v = b0.append(I.Const(1, scalar(Kind.INT)))
+    b0.append(I.Jump(b1))
+    phi = I.Phi(scalar(Kind.INT))
+    b1.insert_front(phi)
+    phi.add_input(b0, v)
+    phi.add_input(b1, phi)
+    b1.append(I.Return(phi))
+    g.recompute_preds()
+    simplify(g)
+    assert phi not in b1.instrs
+
+
+def test_simplify_folds_statically_true_istype():
+    g, bb = mini_graph()
+    a = bb.append(I.Const(1.0, scalar(Kind.DBL)))
+    t = bb.append(I.IsType(a, RType(Kind.DBL, scalar=True, maybe_na=True)))
+    bb.append(I.Return(t))
+    simplify(g)
+    assert not any(isinstance(i, I.IsType) for i in bb.instrs)
+
+
+def _env_graph_with_dead_store(is_continuation):
+    g = Graph("t")
+    g.env_elided = False
+    g.is_continuation = is_continuation
+    bb = g.new_block()
+    env = bb.append(I.EnvParam())
+    g.env_param = env
+    v1 = bb.append(I.Const(1.0, scalar(Kind.DBL)))
+    v2 = bb.append(I.Const(2.0, scalar(Kind.DBL)))
+    dead = bb.append(I.StVarEnv(env, "x", v1))
+    bb.append(I.StVarEnv(env, "x", v2))
+    bb.append(I.Return(v2))
+    return g, bb, dead
+
+
+def test_dse_removes_shadowed_store():
+    g, bb, dead = _env_graph_with_dead_store(is_continuation=False)
+    assert dse(g) == 1
+    assert dead not in bb.instrs
+
+
+def test_dse_refuses_continuations():
+    """The paper's section 4.2 anecdote: DSE is unsound for OSR
+    continuations, so the pass must skip them."""
+    g, bb, dead = _env_graph_with_dead_store(is_continuation=True)
+    assert dse(g) == 0
+    assert dead in bb.instrs
+
+
+def test_dse_can_be_forced_for_the_regression_experiment():
+    g, bb, dead = _env_graph_with_dead_store(is_continuation=True)
+    assert dse(g, force=True) == 1
+
+
+def test_dse_blocked_by_intervening_load():
+    g = Graph("t")
+    g.env_elided = False
+    bb = g.new_block()
+    env = bb.append(I.EnvParam())
+    g.env_param = env
+    v1 = bb.append(I.Const(1.0, scalar(Kind.DBL)))
+    bb.append(I.StVarEnv(env, "x", v1))
+    bb.append(I.LdVarEnv(env, "x"))  # observer
+    bb.append(I.StVarEnv(env, "x", v1))
+    bb.append(I.Return(v1))
+    assert dse(g) == 0
+
+
+def test_dse_blocked_by_deopt_point():
+    g = Graph("t")
+    g.env_elided = False
+    bb = g.new_block()
+    env = bb.append(I.EnvParam())
+    g.env_param = env
+    v1 = bb.append(I.Const(1.0, scalar(Kind.DBL)))
+    cond = bb.append(I.Const(True, scalar(Kind.LGL)))
+    cond.unboxed = True
+    bb.append(I.StVarEnv(env, "x", v1))
+
+    class FakeCode:
+        name = "f"
+
+    from repro.osr.framestate import DeoptReasonKind, FrameStateDescr
+
+    fs = FrameStateDescr(FakeCode(), 0, [], [], env_value=env)
+    bb.append(I.Assume(cond, fs, DeoptReasonKind.TYPECHECK, 0))
+    bb.append(I.StVarEnv(env, "x", v1))
+    bb.append(I.Return(v1))
+    assert dse(g) == 0, "a deopt point observes the whole environment"
+
+
+def test_dedup_guards_same_block():
+    vm = make_vm(enable_jit=False, compile_threshold=10**9)
+    vm.eval("f <- function(a) a + a + a\n")
+    vm.eval("f(1.5)")
+    vm.eval("f(2.5)")
+    clo = vm.global_env.get("f")
+    g = GraphBuilder(vm, clo.code, clo).build()
+    simplify(g)
+    guards = [i for i in g.iter_instrs() if isinstance(i, I.IsType)]
+    # one guard for `a`, not three
+    assert len(guards) <= 1

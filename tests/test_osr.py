@@ -1,0 +1,194 @@
+"""Tests for the OSR machinery: OSR-in from hot loops, OSR-out
+(deoptimization) state transfer, and framestate materialization."""
+
+import pytest
+
+from conftest import make_vm
+from repro import from_r
+from repro.osr.framestate import DeoptReason, DeoptReasonKind, FrameState
+from repro.runtime.env import REnvironment
+from repro.runtime.values import mk_dbl, mk_int
+
+
+# -- OSR-in ------------------------------------------------------------------------
+
+def test_osr_in_triggers_on_hot_toplevel_loop():
+    vm = make_vm(osr_threshold=100)
+    r = vm.eval("s <- 0\nfor (i in 1:3000) s <- s + i\ns")
+    assert from_r(r) == sum(range(1, 3001))
+    assert vm.state.osr_ins == 1
+
+
+def test_osr_in_result_equals_interpreter():
+    src = "s <- 0\nfor (i in 1:2000) s <- s + i * 0.5\ns"
+    a = from_r(make_vm(osr_threshold=50).eval(src))
+    b = from_r(make_vm(enable_jit=False).eval(src))
+    assert a == b
+
+
+def test_osr_in_inside_function_body():
+    vm = make_vm(osr_threshold=100, compile_threshold=10**9)
+    vm.eval("f <- function(n) { s <- 0\nfor (i in 1:n) s <- s + i\ns }")
+    r = vm.eval("f(5000L)")
+    assert from_r(r) == sum(range(1, 5001))
+    assert vm.state.osr_ins == 1
+
+
+def test_osr_in_disabled_by_config():
+    vm = make_vm(enable_osr_in=False, osr_threshold=10)
+    vm.eval("s <- 0\nfor (i in 1:2000) s <- s + i\ns")
+    assert vm.state.osr_ins == 0
+
+
+def test_osr_in_respects_threshold():
+    vm = make_vm(osr_threshold=10**9)
+    vm.eval("s <- 0\nfor (i in 1:2000) s <- s + i\ns")
+    assert vm.state.osr_ins == 0
+
+
+def test_osr_in_continuation_is_single_use():
+    """Paper section 4.2: the OSR-in continuation is used once and released;
+    the code-size telemetry must not keep growing."""
+    vm = make_vm(osr_threshold=200, compile_threshold=10**9)
+    vm.eval("f <- function(n) { s <- 0\nfor (i in 1:n) s <- s + i\ns }")
+    vm.eval("f(2000L)")
+    size_after_first = vm.state.code_size
+    vm.eval("f(2000L)")
+    assert vm.state.osr_ins == 2
+    assert vm.state.code_size == size_after_first
+
+
+def test_osr_in_with_modified_global_mid_loop():
+    # the loop writes globals: the toplevel env must NOT be register-promoted
+    vm = make_vm(osr_threshold=100)
+    vm.eval("g <- 0\nfor (i in 1:2000) g <- g + 1\n0")
+    assert from_r(vm.eval("g")) == 2000.0
+
+
+# -- OSR-out (deoptimization) ----------------------------------------------------------
+
+SUM_SRC = """
+sumfn <- function(data, len) {
+  total <- 0
+  for (i in 1:len) total <- total + data[[i]]
+  total
+}
+"""
+
+
+def warmed(src, warm_calls, **cfg):
+    vm = make_vm(**cfg)
+    vm.eval(src)
+    for c in warm_calls:
+        vm.eval(c)
+    return vm
+
+
+def test_deopt_on_type_change_produces_correct_result():
+    vm = warmed(SUM_SRC, ["xi <- c(1L,2L,3L)"] + ["sumfn(xi, 3L)"] * 4)
+    assert vm.state.compiles >= 1
+    r = vm.eval("sumfn(c(1.5, 2.5), 2L)")  # type change: deopt mid-loop
+    assert from_r(r) == 4.0
+    assert vm.state.deopts >= 1
+
+
+def test_deopt_retires_code_and_recompiles_more_generic():
+    vm = warmed(SUM_SRC, ["xi <- c(1L,2L,3L)"] + ["sumfn(xi, 3L)"] * 4)
+    vm.eval("sumfn(c(1.5), 1L)")
+    clo = vm.global_env.get("sumfn")
+    assert clo.jit.version is None, "deopt must retire the optimized code"
+    # re-warm: recompiles, and the new version handles both types
+    for _ in range(4):
+        vm.eval("sumfn(c(1.5, 2.5), 2L)")
+        vm.eval("sumfn(xi, 3L)")
+    assert clo.jit.version is not None
+    deopts_before = vm.state.deopts
+    assert from_r(vm.eval("sumfn(xi, 3L)")) == 6
+    assert from_r(vm.eval("sumfn(c(0.5), 1L)")) == 0.5
+    assert vm.state.deopts == deopts_before, "generic code must not deopt"
+
+
+def test_deopt_mid_loop_preserves_accumulated_state():
+    """The loop's partial sum must transfer exactly through the framestate."""
+    vm = warmed(SUM_SRC, ["xi <- c(1L,2L,3L)"] + ["sumfn(xi, 3L)"] * 4)
+    # a vector that is integer except for the last element: native code sums
+    # the int prefix, then the NA/type machinery has to hand over mid-loop
+    vm.eval("mix <- c(10L, 20L, 30L)")
+    vm.eval("mixd <- c(10.5, 20.5, 30.5)")
+    assert from_r(vm.eval("sumfn(mixd, 3L)")) == 61.5
+
+
+def test_deopt_on_na_element():
+    vm = warmed(SUM_SRC, ["xi <- c(1L,2L,3L)"] + ["sumfn(xi, 3L)"] * 4)
+    r = vm.eval("sumfn(c(1L, NA, 3L), 3L)")
+    assert from_r(r) is None  # NA propagates, via deopt to the interpreter
+    assert any(
+        e.details.get("reason") == "na_check" for e in vm.state.events_of("deopt")
+    )
+
+
+def test_deopt_events_carry_reason_metadata():
+    vm = warmed(SUM_SRC, ["xi <- c(1L,2L,3L)"] + ["sumfn(xi, 3L)"] * 4)
+    vm.eval("sumfn(c(1.5), 1L)")
+    ev = vm.state.events_of("deopt")[-1]
+    assert ev.fn_name == "sumfn"
+    assert ev.details["reason"] == "typecheck"
+    assert isinstance(ev.details["pc"], int)
+
+
+def test_framestate_materializes_environment():
+    class FakeCode:
+        name = "f"
+
+    fs = FrameState(
+        FakeCode(), 7, {"x": mk_int(1), "y": mk_dbl(2.0)}, [], REnvironment()
+    )
+    env = fs.materialize_env()
+    assert env.get("x").data == [1]
+    assert env.get("y").data == [2.0]
+    assert env.materialized_from_deopt
+
+
+def test_framestate_reuses_live_env():
+    class FakeCode:
+        name = "f"
+
+    live = REnvironment()
+    fs = FrameState(FakeCode(), 0, None, [], None, env=live)
+    assert fs.materialize_env() is live
+
+
+def test_framestate_chain_depth():
+    class FakeCode:
+        name = "f"
+
+    inner = FrameState(FakeCode(), 0, {}, [], None)
+    outer = FrameState(FakeCode(), 0, {}, [], None, parent=inner)
+    assert outer.depth() == 2
+
+
+def test_resume_in_interpreter_mid_function():
+    """Directly exercise Listing 4: resume at a pc with a seeded stack."""
+    from repro.bytecode.compiler import Compiler
+    from repro.bytecode import opcodes as O
+    from repro.osr import osr_out
+
+    vm = make_vm(enable_jit=False)
+    code = Compiler.compile_program("10 + 32")
+    # resume just before the BINOP with both operands on the stack
+    binop_pc = [pc for pc, ins in enumerate(code.code) if ins[0] == O.BINOP][0]
+    fs = FrameState(code, binop_pc, {}, [mk_dbl(10.0), mk_dbl(32.0)], None,
+                    env=vm.global_env)
+    assert from_r(osr_out.resume_in_interpreter(vm, fs)) == 42.0
+
+
+def test_max_deopts_stops_recompilation():
+    vm = warmed(
+        SUM_SRC, ["xi <- c(1L,2L)"] + ["sumfn(xi, 2L)"] * 4,
+        max_deopts_per_function=1,
+    )
+    vm.eval("sumfn(c(1.5), 1L)")  # first deopt: at the limit now
+    compiles_before = vm.state.compiles
+    for _ in range(6):
+        vm.eval("sumfn(xi, 2L)")
+    assert vm.state.compiles == compiles_before, "function is blacklisted"

@@ -1,0 +1,245 @@
+"""Unit tests for the mini-R parser: precedence, associativity, statements."""
+
+import pytest
+
+from repro.rlang import ast_nodes as A
+from repro.rlang.parser import ParseError, parse, parse_expr
+
+
+def test_precedence_mul_over_add():
+    e = parse_expr("1 + 2 * 3")
+    assert isinstance(e, A.BinOp) and e.op == "+"
+    assert isinstance(e.rhs, A.BinOp) and e.rhs.op == "*"
+
+
+def test_precedence_pow_over_mul():
+    e = parse_expr("2 * 3 ^ 4")
+    assert e.op == "*" and e.rhs.op == "^"
+
+
+def test_pow_right_associative():
+    e = parse_expr("2 ^ 3 ^ 2")
+    assert e.op == "^"
+    assert isinstance(e.rhs, A.BinOp) and e.rhs.op == "^"
+
+
+def test_add_left_associative():
+    e = parse_expr("1 - 2 - 3")
+    assert e.op == "-" and isinstance(e.lhs, A.BinOp) and e.lhs.op == "-"
+
+
+def test_unary_minus_binds_looser_than_pow():
+    # R parses -2^2 as -(2^2)
+    e = parse_expr("-2^2")
+    assert isinstance(e, A.UnOp) and e.op == "-"
+    assert isinstance(e.operand, A.BinOp) and e.operand.op == "^"
+
+
+def test_colon_binds_tighter_than_add():
+    e = parse_expr("1:5 + 1")
+    assert isinstance(e, A.BinOp) and e.op == "+"
+    assert isinstance(e.lhs, A.Colon)
+
+
+def test_special_mod_between_mul_and_colon():
+    e = parse_expr("a %% b * c")
+    assert e.op == "*"
+
+
+def test_comparison_below_arith():
+    e = parse_expr("a + 1 > b * 2")
+    assert isinstance(e, A.BinOp) and e.op == ">"
+
+
+def test_logical_lowest():
+    e = parse_expr("a > 1 && b < 2")
+    assert e.op == "&&"
+
+
+def test_not_operator():
+    e = parse_expr("!a && b")
+    assert e.op == "&&" and isinstance(e.lhs, A.UnOp)
+
+
+def test_assignment_expression():
+    e = parse_expr("x <- 1 + 2")
+    assert isinstance(e, A.Assign) and not e.superassign
+
+
+def test_superassignment():
+    e = parse_expr("x <<- 5")
+    assert isinstance(e, A.Assign) and e.superassign
+
+
+def test_right_assignment():
+    e = parse_expr("42 -> x")
+    assert isinstance(e, A.Assign)
+    assert isinstance(e.target, A.Ident) and e.target.name == "x"
+
+
+def test_chained_assignment_right_assoc():
+    e = parse_expr("x <- y <- 1")
+    assert isinstance(e, A.Assign) and isinstance(e.value, A.Assign)
+
+
+def test_equals_assignment():
+    e = parse_expr("x = 3")
+    assert isinstance(e, A.Assign)
+
+
+def test_invalid_assignment_target():
+    with pytest.raises(ParseError):
+        parse_expr("1 <- 2")
+
+
+def test_index_double_bracket():
+    e = parse_expr("x[[i]]")
+    assert isinstance(e, A.Index) and e.double
+
+
+def test_index_single_bracket():
+    e = parse_expr("x[i]")
+    assert isinstance(e, A.Index) and not e.double
+
+
+def test_nested_double_bracket_index():
+    e = parse_expr("x[[i[1]]]")
+    assert isinstance(e, A.Index) and e.double
+    inner = e.args[0]
+    assert isinstance(inner, A.Index) and not inner.double
+
+
+def test_index_assignment():
+    e = parse_expr("x[[1]] <- 5")
+    assert isinstance(e, A.Assign) and isinstance(e.target, A.Index)
+
+
+def test_call_no_args():
+    e = parse_expr("f()")
+    assert isinstance(e, A.Call) and e.args == []
+
+
+def test_call_positional_and_named_args():
+    e = parse_expr("f(1, b = 2, 3)")
+    assert len(e.args) == 3
+    assert e.arg_names == [None, "b", None]
+
+
+def test_call_named_arg_not_confused_with_equality():
+    e = parse_expr("f(a == 2)")
+    assert e.arg_names == [None]
+    assert isinstance(e.args[0], A.BinOp)
+
+
+def test_call_chaining():
+    e = parse_expr("f(1)(2)")
+    assert isinstance(e, A.Call) and isinstance(e.fn, A.Call)
+
+
+def test_call_then_index():
+    e = parse_expr("f(x)[[1]]")
+    assert isinstance(e, A.Index) and isinstance(e.obj, A.Call)
+
+
+def test_if_without_else():
+    e = parse_expr("if (x) 1")
+    assert isinstance(e, A.If) and e.orelse is None
+
+
+def test_if_with_else():
+    e = parse_expr("if (x) 1 else 2")
+    assert isinstance(e, A.If) and e.orelse is not None
+
+
+def test_if_else_across_newline():
+    prog = parse("if (x) {\n 1\n}\nelse {\n 2\n}")
+    assert isinstance(prog.body[0], A.If)
+    assert prog.body[0].orelse is not None
+
+
+def test_for_loop():
+    e = parse_expr("for (i in 1:10) print(i)")
+    assert isinstance(e, A.For) and e.var == "i"
+
+
+def test_while_loop():
+    e = parse_expr("while (x < 10) x <- x + 1")
+    assert isinstance(e, A.While)
+
+
+def test_repeat_loop():
+    e = parse_expr("repeat break")
+    assert isinstance(e, A.Repeat) and isinstance(e.body, A.Break)
+
+
+def test_function_definition_with_defaults():
+    e = parse_expr("function(a, b = 2) a + b")
+    assert isinstance(e, A.Function)
+    assert e.formals[0] == ("a", None)
+    assert e.formals[1][0] == "b" and isinstance(e.formals[1][1], A.NumLit)
+
+
+def test_function_empty_formals():
+    e = parse_expr("function() 42")
+    assert e.formals == []
+
+
+def test_return_with_and_without_value():
+    e = parse_expr("function() return(5)")
+    assert isinstance(e.body, A.Return) and e.body.value is not None
+    e = parse_expr("function() return()")
+    assert e.body.value is None
+
+
+def test_block_value_and_statements():
+    e = parse_expr("{ 1\n 2\n 3 }")
+    assert isinstance(e, A.Block) and len(e.body) == 3
+
+
+def test_semicolon_separated_statements():
+    prog = parse("a <- 1; b <- 2")
+    assert len(prog.body) == 2
+
+
+def test_newline_terminates_statement():
+    prog = parse("a <- 1\nb <- 2")
+    assert len(prog.body) == 2
+
+
+def test_newline_after_operator_continues():
+    prog = parse("x <- 1 +\n  2")
+    assert len(prog.body) == 1
+
+
+def test_newlines_inside_parens_ignored():
+    prog = parse("f(1,\n   2,\n   3)")
+    assert len(prog.body) == 1
+    assert len(prog.body[0].args) == 3
+
+
+def test_na_literals():
+    assert isinstance(parse_expr("NA"), A.NaLit)
+    assert parse_expr("NA_integer_").kind == "int"
+    assert parse_expr("NA_real_").kind == "dbl"
+
+
+def test_inf_and_nan():
+    assert parse_expr("Inf").value == float("inf")
+    import math
+
+    assert math.isnan(parse_expr("NaN").value)
+
+
+def test_trailing_garbage_raises():
+    with pytest.raises(ParseError):
+        parse_expr("1 2")
+
+
+def test_unclosed_paren_raises():
+    with pytest.raises(ParseError):
+        parse("f(1")
+
+
+def test_source_lines_recorded():
+    prog = parse("a <- 1\n\n\nb <- 2")
+    assert prog.body[1].line == 4

@@ -1,0 +1,128 @@
+"""Regression tests for specific bugs found during development, plus the
+reproduction of the paper's OSR-in escape/dead-store unsoundness anecdote
+(section 4.2) behind its config switch."""
+
+import pytest
+
+from conftest import make_vm
+from repro import from_r
+
+
+def test_continuation_entering_mid_loop_gets_phis():
+    """A deoptless continuation entering in the middle of a loop body used
+    to read stale entry registers forever (the entry block has an extra
+    IR-only predecessor)."""
+    vm = make_vm(enable_deoptless=True, compile_threshold=2)
+    vm.eval("""
+sumfn <- function(data, len) {
+  total <- 0
+  for (i in 1:len) total <- total + data[[i]]
+  total
+}
+""")
+    vm.eval("xi <- c(1L, 2L, 3L)")
+    for _ in range(5):
+        vm.eval("sumfn(xi, 3L)")
+    # deopt happens mid-loop-body at the data[[i]] guard
+    r = vm.eval("sumfn(c(1.5, 2.5, 3.5), 3L)")
+    assert from_r(r) == 7.5
+    assert vm.state.deoptless_dispatches == 1
+
+
+def test_scalar_guarded_value_used_as_vector_is_reboxed():
+    """`1:n` with n==1 produces a length-1 vector; scalar feedback then made
+    the compiler unbox it, crashing the vector ops consuming it."""
+    vm = make_vm(compile_threshold=1)
+    vm.eval("f <- function(reps) { s <- 0L\nfor (r in 1:reps) s <- s + r\ns }")
+    for _ in range(4):
+        r = vm.eval("f(1L)")  # the loop sequence 1:1 is a scalar
+    assert from_r(r) == 1
+    assert from_r(vm.eval("f(5L)")) == 15
+
+
+def test_doomed_guard_not_emitted_for_kind_change():
+    """Stale int feedback on a statically-double variable must not produce
+    an is-int guard (it would deopt unconditionally)."""
+    vm = make_vm(enable_deoptless=True, compile_threshold=2)
+    vm.eval("""
+powmod <- function(base, exp, mod) {
+  result <- 1L
+  b <- base %% mod
+  e <- exp
+  while (e > 0L) {
+    if (e %% 2L == 1L) result <- (result * b) %% mod
+    e <- e %/% 2L
+    b <- (b * b) %% mod
+  }
+  result
+}
+""")
+    for i in range(5):
+        vm.eval("powmod(%dL, 13L, 497L)" % (i + 2))
+    for _ in range(5):
+        assert from_r(vm.eval("powmod(3L, 13.0, 497L)")) == pow(3, 13, 497)
+    # the continuation survived: exactly one compile, repeated dispatches
+    assert vm.state.deoptless_compiles == 1
+    assert vm.state.deoptless_dispatches == 5
+
+
+def test_ldfun_of_register_promoted_parameter():
+    """Calling a function passed as a parameter inside compiled code used to
+    search the environment chain instead of the register."""
+    vm = make_vm(compile_threshold=1)
+    vm.eval("""
+apply_n <- function(g, n) { s <- 0\nfor (i in 1:n) s <- s + g(i)\ns }
+sq <- function(x) x * x
+""")
+    for _ in range(3):
+        r = vm.eval("apply_n(sq, 4L)")
+    assert from_r(r) == 30.0
+
+
+def test_fannkuch_advance_terminates():
+    """The permutation-advance loop of fannkuchredux (regression for the
+    off-by-one that made it spin forever)."""
+    from repro.bench.programs import REGISTRY
+
+    w = REGISTRY.get("fannkuchredux")
+    vm = make_vm()
+    vm.eval(w.source)
+    assert from_r(vm.eval("fannkuch(5L)")) == 7
+    assert from_r(vm.eval("fannkuch(6L)")) == 10
+
+
+# -- the section 4.2 unsoundness anecdote --------------------------------------------
+
+ESCAPED_LOOP_SRC = """
+run <- function(n) {
+  total <- 0
+  observer <- function() total
+  for (i in 1:n) total <- total + i
+  observer()
+}
+"""
+
+
+def test_continuation_escape_analysis_scans_whole_function():
+    """Sound behaviour: `total` escaped into `observer` BEFORE the loop, so
+    an OSR-in continuation of the loop must keep writing the real
+    environment even though no closure is created after the entry pc."""
+    vm = make_vm(osr_threshold=100, compile_threshold=10**9)
+    vm.eval(ESCAPED_LOOP_SRC)
+    r = vm.eval("run(2000L)")
+    assert vm.state.osr_ins == 1, "the loop must actually tier up mid-run"
+    assert from_r(r) == sum(range(1, 2001))
+
+
+def test_unsound_escape_scan_reproduces_the_paper_bug():
+    """With the unsound switch (scan only from the continuation entry, the
+    behaviour Ř's dead-store elimination had), the observer closure reads a
+    stale environment: the classic wrong-answer the paper reports."""
+    vm = make_vm(osr_threshold=100, compile_threshold=10**9,
+                 unsound_continuation_escape=True)
+    vm.eval(ESCAPED_LOOP_SRC)
+    r = vm.eval("run(2000L)")
+    assert vm.state.osr_ins == 1
+    assert from_r(r) != sum(range(1, 2001)), (
+        "the unsound variant must exhibit the stale-environment bug"
+    )

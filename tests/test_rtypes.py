@@ -1,0 +1,121 @@
+"""Tests for the type lattice, including hypothesis property tests on the
+partial order (which deoptless dispatch correctness depends on)."""
+
+from hypothesis import given, strategies as st
+
+from repro.runtime.rtypes import (
+    ANY,
+    Kind,
+    RType,
+    _le_slow,
+    intern_rtype,
+    kind_lub,
+    scalar,
+    vector,
+)
+
+all_kinds = st.sampled_from(list(Kind))
+rtypes = st.builds(RType, all_kinds, st.booleans(), st.booleans())
+
+
+def test_kind_lub_identity():
+    for k in Kind:
+        assert kind_lub(k, k) == k
+
+
+def test_kind_lub_null_neutral():
+    assert kind_lub(Kind.NULL, Kind.DBL) == Kind.DBL
+    assert kind_lub(Kind.INT, Kind.NULL) == Kind.INT
+
+
+def test_kind_lub_vector_ordering():
+    assert kind_lub(Kind.LGL, Kind.INT) == Kind.INT
+    assert kind_lub(Kind.INT, Kind.DBL) == Kind.DBL
+    assert kind_lub(Kind.DBL, Kind.CPLX) == Kind.CPLX
+    assert kind_lub(Kind.STR, Kind.DBL) == Kind.STR
+    assert kind_lub(Kind.LIST, Kind.INT) == Kind.LIST
+
+
+def test_kind_lub_mixed_nonvector_is_any():
+    assert kind_lub(Kind.CLO, Kind.INT) == Kind.ANY
+
+
+def test_scalar_subtype_of_vector():
+    assert scalar(Kind.DBL) <= vector(Kind.DBL)
+    assert not (vector(Kind.DBL) <= scalar(Kind.DBL))
+
+
+def test_int_subtype_of_dbl():
+    assert vector(Kind.INT) <= vector(Kind.DBL)
+    assert not (vector(Kind.DBL) <= vector(Kind.INT))
+
+
+def test_everything_below_any():
+    assert scalar(Kind.INT) <= ANY
+    assert vector(Kind.LIST) <= ANY
+    assert not (ANY <= scalar(Kind.INT))
+
+
+def test_na_ordering():
+    no_na = RType(Kind.DBL, True, False)
+    with_na = RType(Kind.DBL, True, True)
+    assert no_na <= with_na
+    assert not (with_na <= no_na)
+
+
+def test_unboxable():
+    assert scalar(Kind.DBL).unboxable
+    assert scalar(Kind.INT).unboxable
+    assert not scalar(Kind.CPLX).unboxable  # complex stays boxed, as in Ř
+    assert not vector(Kind.DBL).unboxable
+    assert not RType(Kind.DBL, scalar=True, maybe_na=True).unboxable
+
+
+def test_interning_returns_same_object():
+    a = intern_rtype(Kind.DBL, True, False)
+    b = intern_rtype(Kind.DBL, True, False)
+    assert a is b
+
+
+@given(rtypes, rtypes)
+def test_le_table_matches_reference(a, b):
+    assert (a <= b) == _le_slow(a, b)
+
+
+@given(rtypes)
+def test_le_reflexive(a):
+    assert a <= a
+
+
+@given(rtypes, rtypes, rtypes)
+def test_le_transitive(a, b, c):
+    if a <= b and b <= c:
+        assert a <= c
+
+
+@given(rtypes, rtypes)
+def test_le_antisymmetric(a, b):
+    if a <= b and b <= a:
+        assert a == b
+
+
+@given(rtypes, rtypes)
+def test_lub_is_upper_bound(a, b):
+    m = a.lub(b)
+    assert a <= m and b <= m
+
+
+@given(rtypes, rtypes)
+def test_lub_commutative(a, b):
+    assert a.lub(b) == b.lub(a)
+
+
+@given(rtypes)
+def test_lub_idempotent(a):
+    assert a.lub(a) == a
+
+
+@given(rtypes)
+def test_widened_is_wider(a):
+    if a.kind != Kind.ANY:
+        assert a <= a.widened()

@@ -1,0 +1,98 @@
+"""Tests for runtime value representations."""
+
+import pytest
+
+from repro.runtime.rtypes import Kind
+from repro.runtime.values import (
+    NULL,
+    RError,
+    RNull,
+    RPromise,
+    RVector,
+    mk_dbl,
+    mk_int,
+    mk_lgl,
+    rtype_of,
+    rtype_quick,
+)
+
+
+def test_null_is_singleton():
+    assert RNull() is NULL
+
+
+def test_vector_length_and_scalar():
+    v = RVector.double([1.0, 2.0])
+    assert len(v) == 2 and not v.is_scalar
+    assert mk_dbl(1.0).is_scalar
+
+
+def test_has_na():
+    assert RVector.integer([1, None]).has_na()
+    assert not RVector.integer([1, 2]).has_na()
+    # LIST vectors never report NA
+    assert not RVector.rlist([NULL]).has_na()
+
+
+def test_rtype_precise():
+    t = RVector.double([1.0]).rtype()
+    assert t.kind == Kind.DBL and t.scalar and not t.maybe_na
+    t = RVector.double([1.0, None]).rtype()
+    assert not t.scalar and t.maybe_na
+
+
+def test_rtype_quick_scalar_na_exact():
+    assert rtype_quick(mk_dbl(None)).maybe_na
+    assert not rtype_quick(mk_dbl(1.0)).maybe_na
+
+
+def test_rtype_quick_vector_na_underapproximated():
+    # quick typing never scans long vectors: NA-ness is under-reported and
+    # compensated by per-element checks in native vector loads
+    v = RVector.double([1.0, None, 3.0])
+    assert not rtype_quick(v).maybe_na
+    assert rtype_of(v).maybe_na
+
+
+def test_scalar_value_errors_on_vector():
+    with pytest.raises(RError):
+        RVector.double([1.0, 2.0]).scalar_value()
+
+
+def test_is_true_semantics():
+    assert mk_lgl(True).is_true()
+    assert not mk_int(0).is_true()
+    assert mk_dbl(3.5).is_true()
+    with pytest.raises(RError):
+        RVector.double([]).is_true()
+    with pytest.raises(RError):
+        mk_lgl(None).is_true()
+
+
+def test_is_true_string_semantics():
+    from repro.runtime.values import mk_str
+
+    assert mk_str("TRUE").is_true()
+    assert not mk_str("FALSE").is_true()
+    with pytest.raises(RError):
+        mk_str("banana").is_true()
+
+
+def test_named_counter_starts_fresh():
+    assert RVector.integer([1]).named == 0
+
+
+def test_allocation_counter_increases():
+    before = RVector.allocations
+    RVector.double([1.0])
+    assert RVector.allocations == before + 1
+
+
+def test_promise_forced_with():
+    p = RPromise.forced_with(mk_int(7))
+    assert p.forced and p.value.data == [7]
+
+
+def test_rtype_of_promise_is_any():
+    p = RPromise(None, None)
+    assert rtype_of(p).kind == Kind.ANY

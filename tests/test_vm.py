@@ -1,0 +1,156 @@
+"""Tests for the VM: tiering policy, argument matching for the native
+calling convention, telemetry, and the public API."""
+
+import pytest
+
+from conftest import make_vm
+from repro import Config, RVM, from_r, to_r
+from repro.runtime.values import RError
+
+
+def test_compile_threshold_respected():
+    vm = make_vm(compile_threshold=5)
+    vm.eval("f <- function(x) x + 1")
+    for _ in range(5):
+        vm.eval("f(1)")
+    assert vm.state.compiles == 0
+    vm.eval("f(1)")
+    assert vm.state.compiles == 1
+
+
+def test_jit_disabled_never_compiles():
+    vm = make_vm(enable_jit=False)
+    vm.eval("f <- function(x) x + 1")
+    for _ in range(20):
+        vm.eval("f(1)")
+    assert vm.state.compiles == 0
+
+
+def test_native_call_with_named_args():
+    vm = make_vm(compile_threshold=1)
+    vm.eval("f <- function(a, b) a - b")
+    for _ in range(3):
+        r = vm.eval("f(b = 1, a = 10)")
+    assert from_r(r) == 9.0
+    assert vm.state.compiles == 1
+
+
+def test_native_call_with_constant_default():
+    vm = make_vm(compile_threshold=1)
+    vm.eval("f <- function(a, b = 100) a + b")
+    for _ in range(3):
+        r = vm.eval("f(1)")
+    assert from_r(r) == 101.0
+
+
+def test_non_constant_default_forces_env_mode():
+    vm = make_vm(compile_threshold=1)
+    vm.eval("f <- function(a, b = a * 2) a + b")
+    for _ in range(3):
+        r = vm.eval("f(3)")
+    assert from_r(r) == 9.0
+    ev = vm.state.events_of("compile")
+    assert ev and ev[0].details["env_elided"] is False
+
+
+def test_compile_failure_blacklists():
+    # read-before-assign on a path makes the function uncompilable
+    vm = make_vm(compile_threshold=1)
+    vm.eval("f <- function(c) { if (c) x <- 1\nx }")
+    for _ in range(4):
+        vm.eval("f(TRUE)")
+    assert vm.state.compile_failures == 1  # tried once, then blacklisted
+    clo = vm.global_env.get("f")
+    assert clo.jit.cant_compile
+
+
+def test_call_api_and_conversions():
+    vm = make_vm()
+    vm.eval("f <- function(v) length(v)")
+    assert from_r(vm.call("f", to_r([1, 2, 3]))) == 3
+
+
+def test_get_set_global():
+    vm = make_vm()
+    vm.set_global("x", to_r(42))
+    assert from_r(vm.eval("x + 1L")) == 43
+
+
+def test_output_capture():
+    vm = make_vm()
+    vm.eval('cat("hello")')
+    assert vm.output == ["hello"]
+
+
+def test_cycles_monotone():
+    vm = make_vm()
+    c0 = vm.cycles()
+    vm.eval("s <- 0\nfor (i in 1:100) s <- s + i")
+    assert vm.cycles() > c0
+
+
+def test_telemetry_snapshot_keys():
+    vm = make_vm()
+    vm.eval("1 + 1")
+    snap = vm.state.snapshot()
+    for key in ("interp_ops", "native_ops", "compiles", "deopts",
+                "deoptless_dispatches", "allocations", "code_size"):
+        assert key in snap
+
+
+def test_code_size_tracks_retirement():
+    vm = make_vm(compile_threshold=1)
+    vm.eval("f <- function(v, n) { s <- 0\nfor (i in 1:n) s <- s + v[[i]]\ns }")
+    vm.eval("xi <- c(1L, 2L)")
+    for _ in range(3):
+        vm.eval("f(xi, 2L)")
+    assert vm.state.code_size > 0
+    vm.eval("f(c(1.5), 1L)")  # deopt retires the version
+    assert vm.state.code_size == 0
+
+
+def test_deopt_resets_warmup_counter():
+    vm = make_vm(compile_threshold=3)
+    vm.eval("f <- function(v, n) { s <- 0\nfor (i in 1:n) s <- s + v[[i]]\ns }")
+    vm.eval("xi <- c(1L, 2L)")
+    for _ in range(5):
+        vm.eval("f(xi, 2L)")
+    vm.eval("f(c(1.5), 1L)")
+    clo = vm.global_env.get("f")
+    assert clo.jit.call_count == 0, "deopt re-warms before recompiling"
+
+
+def test_rerror_propagates_from_all_tiers():
+    for cfg in (dict(enable_jit=False), dict(compile_threshold=1)):
+        vm = make_vm(**cfg)
+        vm.eval("f <- function(v) v[[10]]")
+        for _ in range(2):
+            with pytest.raises(RError, match="subscript out of bounds"):
+                vm.eval("f(c(1L, 2L))")
+
+
+def test_config_dataclass_defaults_match_paper():
+    cfg = Config()
+    assert cfg.deoptless_max_continuations == 5
+    assert cfg.deoptless_max_stack == 16
+    assert cfg.deoptless_max_env == 32
+
+
+def test_promise_argument_into_native_code():
+    vm = make_vm(compile_threshold=1)
+    vm.eval("g <- function() 21\nf <- function(x) x * 2")
+    for _ in range(4):
+        r = vm.eval("f(g())")  # g() is an effectful arg: passed as promise
+    assert from_r(r) == 42.0
+
+
+def test_unused_lazy_argument_never_forced_in_native_code():
+    vm = make_vm(compile_threshold=1)
+    vm.eval("""
+count <- 0
+bump <- function() { count <<- count + 1\ncount }
+f <- function(a, b) a
+""")
+    for _ in range(5):
+        vm.eval("f(1, bump())")
+    assert from_r(vm.eval("count")) == 0.0

@@ -1,0 +1,53 @@
+"""Integration: every benchmark workload computes identical results across
+all three tiers (the evaluation is only meaningful if the substrate is
+correct)."""
+
+import pytest
+
+from conftest import TIER_CONFIGS, make_vm
+from repro import from_r
+from repro.bench.programs import REGISTRY
+
+
+def run_workload(name, cfg, repeats=3):
+    w = REGISTRY.get(name)
+    vm = make_vm(**cfg)
+    vm.eval(w.source)
+    vm.eval(w.setup_code(w.n_test))
+    result = None
+    for _ in range(repeats):
+        result = from_r(vm.eval(w.call_code(w.n_test)))
+    return result, vm
+
+
+@pytest.mark.parametrize("name", REGISTRY.names())
+def test_workload_agrees_across_tiers(name):
+    results = {}
+    for tier, cfg in TIER_CONFIGS.items():
+        results[tier], _ = run_workload(name, cfg)
+    baseline = results["interp"]
+    for tier, r in results.items():
+        assert r == baseline, "%s: %s diverged (%r vs %r)" % (name, tier, r, baseline)
+
+
+@pytest.mark.parametrize("name", REGISTRY.names())
+def test_workload_compiles_under_jit(name):
+    _, vm = run_workload(name, dict(compile_threshold=1, osr_threshold=200))
+    assert vm.state.compiles + vm.state.osr_ins > 0, "nothing tiered up"
+
+
+def test_registry_covers_the_paper_suite():
+    from repro.bench.figures import FIG6_SUITE
+
+    for n in FIG6_SUITE:
+        assert n in REGISTRY.names()
+    for n in ("sum_phases", "colsum", "volcano", "reopt_rsa",
+              "reopt_stale_feedback", "reopt_shared_function", "nbody_naive"):
+        assert n in REGISTRY.names()
+
+
+def test_workload_metadata_complete():
+    for w in REGISTRY.all():
+        assert w.n >= w.n_test > 0
+        assert w.source.strip()
+        assert w.call.strip()
