@@ -9,10 +9,12 @@ iteration, so figure drivers can print the same series the paper plots.
 
 from __future__ import annotations
 
+import json
 import math
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..jit.config import Config
 from ..jit.vm import RVM
@@ -162,6 +164,23 @@ def format_series_table(results: Sequence[RunResult], metric: str = "wall_s") ->
                 row += " %14s" % "-"
         lines.append(row)
     return "\n".join(lines)
+
+
+def save_json(name: str, payload: Dict[str, Any], path: Optional[str] = None) -> str:
+    """Persist a benchmark's results as JSON for CI and report tooling.
+
+    The destination is ``path`` if given, else ``$REPRO_BENCH_JSON_DIR/
+    <name>.json`` (directory created on demand, default
+    ``benchmarks/results``).  Returns the path written.
+    """
+    if path is None:
+        out_dir = os.environ.get("REPRO_BENCH_JSON_DIR", os.path.join("benchmarks", "results"))
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, "%s.json" % name)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def format_speedup_table(rows: Sequence[Tuple[str, float, str]]) -> str:

@@ -49,7 +49,7 @@ class CodeObject:
     """
 
     __slots__ = (
-        "code", "consts", "names", "feedback", "lines", "name",
+        "code", "consts", "names", "feedback", "feedback_slots", "lines", "name",
         "backedge_count", "osr_disabled", "deopt_count", "deopt_sites",
     )
 
@@ -58,6 +58,9 @@ class CodeObject:
         self.consts: List[Any] = []
         self.names: List[str] = []
         self.feedback: Dict[int, Any] = {}
+        #: per-pc feedback objects, preallocated by :meth:`seal_feedback`;
+        #: the interpreter records through this list (indexed, not hashed)
+        self.feedback_slots: Optional[List[Any]] = None
         self.lines: List[int] = []
         self.name = name
         self.backedge_count = 0
@@ -66,6 +69,29 @@ class CodeObject:
         #: per-site deopt counters; repeatedly failing sites stop being
         #: re-speculated by the compiler
         self.deopt_sites: Dict[int, int] = {}
+
+    def seal_feedback(self) -> None:
+        """Preallocate one feedback object per profiling site.
+
+        The slot array and the ``feedback`` dict share the same objects, so
+        all existing consumers (the IR builder's ``feedback.get(pc)``, the
+        deoptless repair pass' ``.items()``) keep working unchanged; an
+        unexecuted site holds an empty observation, which every consumer
+        already treats exactly like an absent one (``count == 0`` /
+        ``bias is None`` / no call targets).
+        """
+        from .feedback import slot_for_op
+
+        slots: List[Any] = [None] * len(self.code)
+        for pc, ins in enumerate(self.code):
+            cls = slot_for_op(ins[0])
+            if cls is None:
+                continue
+            fb = self.feedback.get(pc)
+            if fb is None:
+                fb = self.feedback[pc] = cls()
+            slots[pc] = fb
+        self.feedback_slots = slots
 
     def const_index(self, value: Any) -> int:
         for i, c in enumerate(self.consts):
@@ -173,6 +199,7 @@ class Compiler:
         c = Compiler(name)
         c.compile_block_value(ast)
         c.emit(O.RETURN, line=ast.line)
+        c.co.seal_feedback()
         return c.co
 
     @staticmethod
@@ -182,6 +209,7 @@ class Compiler:
         c = Compiler(name)
         c.compile_expr(fn.body)
         c.emit(O.RETURN, line=fn.line)
+        c.co.seal_feedback()
         formals = []
         for fname, default in fn.formals:
             if default is None:
@@ -190,6 +218,7 @@ class Compiler:
                 dc = Compiler("<default %s>" % fname)
                 dc.compile_expr(default)
                 dc.emit(O.RETURN, line=default.line)
+                dc.co.seal_feedback()
                 formals.append((fname, dc.co))
         return c.co, formals
 
@@ -198,6 +227,7 @@ class Compiler:
         c = Compiler(name)
         c.compile_expr(expr)
         c.emit(O.RETURN, line=expr.line)
+        c.co.seal_feedback()
         return c.co
 
     # -- statements / blocks ----------------------------------------------------------

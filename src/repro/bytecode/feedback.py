@@ -158,6 +158,28 @@ class CallFeedback:
         return c
 
 
+def slot_for_op(op: int):
+    """The feedback object class recorded at a site with opcode ``op``, or
+    None for opcodes that record no profile.
+
+    Used by the compiler to *preallocate* the per-pc feedback slot array:
+    the interpreter then records through a plain list index instead of a
+    ``dict.get``-probe-then-insert on every executed instruction.
+    """
+    from . import opcodes as O
+
+    if op in (O.LD_VAR, O.SEQ_LENGTH):
+        return ObservedType
+    if op in (O.BINOP, O.COMPARE, O.COLON, O.INDEX2, O.INDEX1,
+              O.SET_INDEX2, O.SET_INDEX1):
+        return BinopFeedback
+    if op in (O.BRFALSE, O.BRTRUE):
+        return BranchFeedback
+    if op == O.CALL:
+        return CallFeedback
+    return None
+
+
 class BranchFeedback:
     """Taken/not-taken counts for a conditional branch."""
 

@@ -127,6 +127,218 @@ def run(
 
     The non-default ``pc``/``stack`` entry is how deoptimization resumes a
     function mid-flight after OSR-out.
+
+    This is the production loop: feedback is recorded through the per-pc
+    slot array preallocated by the compiler (a list index instead of a dict
+    probe-and-insert), and ``state.interp_ops`` is maintained as straight-
+    line *batches* — ops retire into a local accumulator that is settled at
+    control-flow edges and flushed once on exit, so the totals the cost
+    model reads are exactly those of the per-op reference loop.  Set
+    ``RERPO_REF_EXEC=1`` (or ``Config.threaded_dispatch=False``) to run
+    :func:`run_ref` instead for differential testing.
+    """
+    if not vm.config.threaded_dispatch:
+        return run_ref(code, env, vm, stack, pc, closure)
+    if stack is None:
+        stack = []
+    instrs = code.code
+    consts = code.consts
+    names = code.names
+    fbslots = code.feedback_slots
+    if fbslots is None:
+        code.seal_feedback()
+        fbslots = code.feedback_slots
+    state = vm.state
+    n = 0       # ops retired into the batch accumulator
+    base = pc   # first pc of the current straight-line batch
+
+    try:
+        while True:
+            ins = instrs[pc]
+            op = ins[0]
+
+            if op == O.PUSH_CONST:
+                stack.append(consts[ins[1]])
+
+            elif op == O.LD_VAR:
+                v = env.get(names[ins[1]])
+                if isinstance(v, RPromise):
+                    v = force(v, vm)
+                fbslots[pc].record(v)
+                stack.append(v)
+
+            elif op == O.ST_VAR:
+                bind_value(env, names[ins[1]], stack.pop())
+
+            elif op == O.ST_VAR_SUPER:
+                v = stack.pop()
+                if isinstance(v, RVector):
+                    v.named = 2
+                env.set_super(names[ins[1]], v)
+
+            elif op == O.LD_FUN:
+                stack.append(env.get_function(names[ins[1]]))
+
+            elif op == O.POP:
+                stack.pop()
+
+            elif op == O.DUP:
+                stack.append(stack[-1])
+
+            elif op == O.ROT3:
+                c = stack.pop()
+                b = stack.pop()
+                a = stack.pop()
+                stack.append(b)
+                stack.append(c)
+                stack.append(a)
+
+            elif op == O.BINOP:
+                rhs = stack.pop()
+                lhs = stack.pop()
+                fbslots[pc].record(lhs, rhs)
+                stack.append(coerce.arith(ins[1], lhs, rhs))
+
+            elif op == O.COMPARE:
+                rhs = stack.pop()
+                lhs = stack.pop()
+                fbslots[pc].record(lhs, rhs)
+                stack.append(coerce.compare(ins[1], lhs, rhs))
+
+            elif op == O.LOGIC:
+                rhs = stack.pop()
+                lhs = stack.pop()
+                stack.append(coerce.logic(ins[1], lhs, rhs))
+
+            elif op == O.UNOP:
+                stack.append(coerce.unary(ins[1], stack.pop()))
+
+            elif op == O.COLON:
+                rhs = stack.pop()
+                lhs = stack.pop()
+                fbslots[pc].record(lhs, rhs)
+                stack.append(coerce.colon(lhs, rhs))
+
+            elif op == O.INDEX2:
+                idx = stack.pop()
+                obj = stack.pop()
+                fbslots[pc].record(obj, idx)
+                stack.append(coerce.extract2(obj, idx))
+
+            elif op == O.INDEX1:
+                idx = stack.pop()
+                obj = stack.pop()
+                fbslots[pc].record(obj, idx)
+                stack.append(coerce.extract1(obj, idx))
+
+            elif op == O.SET_INDEX2:
+                val = stack.pop()
+                idx = stack.pop()
+                obj = stack.pop()
+                fbslots[pc].record(obj, val)
+                stack.append(_set_index2(obj, idx, val))
+
+            elif op == O.SET_INDEX1:
+                val = stack.pop()
+                idx = stack.pop()
+                obj = stack.pop()
+                fbslots[pc].record(obj, val)
+                stack.append(coerce.assign1(obj, idx, val))
+
+            elif op == O.SEQ_LENGTH:
+                v = stack.pop()
+                fbslots[pc].record(v)
+                if isinstance(v, RVector):
+                    ln = len(v.data)
+                elif v is NULL:
+                    ln = 0
+                else:
+                    ln = 1
+                stack.append(RVector(Kind.INT, [ln]))
+
+            elif op == O.PUSH_NULL:
+                stack.append(NULL)
+
+            elif op == O.BR:
+                target = ins[1]
+                n += pc - base + 1
+                base = pc + 1
+                if target <= pc:
+                    code.backedge_count += 1
+                    if (
+                        state.osr_in_enabled
+                        and not code.osr_disabled
+                        and code.backedge_count >= state.osr_threshold
+                    ):
+                        done, result = vm.try_osr_in(code, env, target, closure)
+                        if done:
+                            del stack[:]
+                            return result
+                pc = target
+                base = target
+                continue
+
+            elif op == O.BRFALSE or op == O.BRTRUE:
+                cond = stack.pop()
+                truth = cond.is_true() if isinstance(cond, RVector) else _truthy(cond)
+                fbslots[pc].record(truth)
+                if (op == O.BRFALSE) != truth:
+                    target = ins[1]
+                    n += pc - base + 1
+                    pc = target
+                    base = target
+                    continue
+
+            elif op == O.CALL:
+                nargs = ins[1]
+                args = stack[len(stack) - nargs :] if nargs else []
+                del stack[len(stack) - nargs :]
+                fn = stack.pop()
+                call_names = consts[ins[2]] if ins[2] >= 0 else None
+                fbslots[pc].record(fn)
+                stack.append(call_function(fn, args, call_names, vm))
+
+            elif op == O.MK_CLOSURE:
+                body, formals, fname = consts[ins[1]]
+                stack.append(RClosure(formals, body, env, fname))
+
+            elif op == O.MK_PROMISE:
+                stack.append(RPromise(consts[ins[1]], env))
+
+            elif op == O.CHECK_FUN:
+                mode = ins[1]
+                if mode == "callable":
+                    if not isinstance(stack[-1], (RClosure, RBuiltin)):
+                        raise RError("attempt to apply non-function")
+                else:  # as_lgl_scalar for && / ||
+                    v = stack.pop()
+                    stack.append(mk_lgl(v.is_true() if isinstance(v, RVector) else _truthy(v)))
+
+            elif op == O.RETURN:
+                return stack.pop()
+
+            else:  # pragma: no cover - unreachable with a correct compiler
+                raise RError("unknown opcode %d" % op)
+
+            pc += 1
+    finally:
+        # settle the open batch: everything from base through the current pc
+        # (inclusive) executed sequentially, including a raising op
+        state.interp_ops += n + (pc - base + 1)
+
+
+def run_ref(
+    code,
+    env: REnvironment,
+    vm,
+    stack: Optional[List[Any]] = None,
+    pc: int = 0,
+    closure=None,
+) -> Any:
+    """Reference interpreter loop: per-op telemetry bumps and dict-probed
+    feedback.  Kept as the differential-testing baseline for :func:`run`
+    (selected with ``RERPO_REF_EXEC=1``); results, recorded feedback and
+    final telemetry totals must be identical between the two.
     """
     if stack is None:
         stack = []
@@ -307,7 +519,7 @@ def run(
             if fb is None:
                 fb = feedback[pc] = CallFeedback()
             fb.record(fn)
-            stack.append(call_function(fn, list(args), call_names, vm))
+            stack.append(call_function(fn, args, call_names, vm))
 
         elif op == O.MK_CLOSURE:
             body, formals, fname = consts[ins[1]]

@@ -8,11 +8,24 @@ per dispatch table.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+
+
+def _threaded_default() -> bool:
+    """Threaded dispatch is the default; ``RERPO_REF_EXEC=1`` selects the
+    reference loop executors in both tiers (differential debugging)."""
+    return os.environ.get("RERPO_REF_EXEC", os.environ.get("REPRO_REF_EXEC", "0")) != "1"
 
 
 @dataclass
 class Config:
+    # -- execution engine --------------------------------------------------------
+    #: use the closure-compiled threaded-dispatch executors (both tiers).
+    #: False runs the original if/elif reference loops, which must produce
+    #: identical results and telemetry (tests/test_threaded_equivalence.py).
+    threaded_dispatch: bool = field(default_factory=_threaded_default)
+
     # -- tiering ---------------------------------------------------------------
     #: enable the optimizing tier at all
     enable_jit: bool = True

@@ -80,6 +80,36 @@ class Telemetry:
         self.guards_executed = 0
         self._alloc_mark = RVector.allocations
 
+    def dispatch_signature(self) -> Dict[str, Any]:
+        """Execution-engine-independent summary of what this VM executed.
+
+        Everything here must be bit-identical between the threaded-dispatch
+        executors and the ``RERPO_REF_EXEC=1`` reference loops: the exact op
+        and guard counts (the cost model's inputs) and the ordered deopt
+        event stream (function, kind, pc).  Wall-clock timestamps and other
+        engine-dependent details are deliberately excluded.
+        """
+        return {
+            "interp_ops": self.interp_ops,
+            "native_ops": self.native_ops,
+            "native_generic_ops": self.native_generic_ops,
+            "guards_executed": self.guards_executed,
+            "compiles": self.compiles,
+            "compiled_instrs": self.compiled_instrs,
+            "osr_ins": self.osr_ins,
+            "deopts": self.deopts,
+            "deoptless_dispatches": self.deoptless_dispatches,
+            "deoptless_compiles": self.deoptless_compiles,
+            "deoptless_misses": self.deoptless_misses,
+            "deoptless_bailouts": self.deoptless_bailouts,
+            "invalidations": self.invalidations,
+            "deopt_events": [
+                (e.fn_name, e.details.get("reason"), e.details.get("pc"))
+                for e in self.events
+                if e.kind == "deopt"
+            ],
+        }
+
     def snapshot(self) -> Dict[str, float]:
         return {
             "interp_ops": self.interp_ops,

@@ -13,6 +13,12 @@
   profiling so that a later recompile produces more generic code.  That
   retire-reprofile-regeneralize loop is exactly the behaviour deoptless is
   designed to avoid.
+
+Both tiers execute through closure-compiled threaded dispatch by default
+(``bytecode/interpreter.py`` fast loop + ``native/threaded.py``); setting
+``RERPO_REF_EXEC=1`` selects the original reference loops, which are kept
+bit-for-bit equivalent in results and telemetry (see DESIGN.md, "Dispatch
+architecture").
 """
 
 from __future__ import annotations

@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 from typing import Any, List, Optional
 
-from ..bytecode.interpreter import force as force_value
+from ..bytecode.interpreter import _set_index2, call_function, force as force_value
 from ..osr.framestate import DeoptReason, DeoptReasonKind, FrameState
 from ..runtime import coerce
 from ..runtime.rtypes import Kind, RType, kind_lub
@@ -80,7 +80,19 @@ def build_framestate(ncode: NativeCode, regs: List[Any], descr, closure_env) -> 
 
 
 def execute(ncode: NativeCode, args: List[Any], vm, closure_env=None) -> Any:
-    """Run native code with ``args`` bound to the parameter registers."""
+    """Run native code with ``args`` bound to the parameter registers.
+
+    Dispatches to the closure-compiled threaded executor (the default) or
+    the if/elif reference loop below (``RERPO_REF_EXEC=1``); both produce
+    identical results and telemetry.
+    """
+    if vm.config.threaded_dispatch:
+        return execute_threaded(ncode, args, vm, closure_env)
+    return execute_ref(ncode, args, vm, closure_env)
+
+
+def execute_ref(ncode: NativeCode, args: List[Any], vm, closure_env=None) -> Any:
+    """The reference register-machine loop (kept for differential testing)."""
     regs = list(ncode.reg_init)
     for r, a in zip(ncode.param_regs, args):
         regs[r] = a
@@ -369,8 +381,6 @@ def execute(ncode: NativeCode, args: List[Any], vm, closure_env=None) -> Any:
         elif op == N.CALLG:
             state.native_ops += nexec
             nexec = 0
-            from ..bytecode.interpreter import call_function
-
             regs[ins[1]] = call_function(regs[ins[2]], [regs[r] for r in ins[3]], ins[4], vm)
         else:  # pragma: no cover
             raise RError("bad native opcode %d" % op)
@@ -384,8 +394,6 @@ def _as_bool(v: Any) -> bool:
 
 
 def _generic_set2(obj: Any, idx: Any, val: Any) -> Any:
-    from ..bytecode.interpreter import _set_index2
-
     return _set_index2(obj, idx, val)
 
 
@@ -399,3 +407,8 @@ def _super_assign_from(env, name: str, value: Any) -> None:
             e.bindings[name] = value
             return
         e = e.parent
+
+
+# imported last: threaded.py pulls the guard/deopt helpers defined above out
+# of this module, so this import must come after they exist
+from .threaded import execute_threaded  # noqa: E402

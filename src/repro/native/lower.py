@@ -67,6 +67,8 @@ class NativeCode:
         #: set by the VM when installing: the closure this code belongs to
         self.closure = None
         self.invalidated = False
+        #: lazily compiled threaded-dispatch handler array (native/threaded.py)
+        self.threaded = None
 
     @property
     def size(self) -> int:
@@ -419,3 +421,66 @@ class _BlockRef:
 
 def lower(graph: Graph, drop_deopt_exits: bool = False) -> NativeCode:
     return Lowerer(graph, drop_deopt_exits=drop_deopt_exits).lower()
+
+
+# ---------------------------------------------------------------------------
+# superinstruction fusion (peephole over the lowered op stream)
+# ---------------------------------------------------------------------------
+
+#: comparison opcodes eligible for compare-and-branch fusion
+_CMP_OPS = frozenset((N.PLT, N.PLE, N.PGT, N.PGE, N.PEQ, N.PNE))
+
+
+def branch_targets(ops: List[tuple]) -> set:
+    """Every op index that control flow can enter non-sequentially."""
+    targets = {0}
+    for op in ops:
+        if op[0] == N.JMP:
+            targets.add(op[1])
+        elif op[0] == N.BRT:
+            targets.add(op[2])
+            targets.add(op[3])
+    return targets
+
+
+def fuse_superinstructions(ops: List[tuple]) -> List[tuple]:
+    """Fuse the dominant hot opcode pairs into superinstructions.
+
+    Index-stable: the fused op replaces the first of the pair and a
+    ``FUSED_GAP`` placeholder fills the second slot, so branch targets and
+    deopt descriptors stay valid without renumbering.  A pair is only fused
+    when its second op is not a branch target (control flow may never enter
+    the middle of a superinstruction).  Telemetry is unaffected: each fused
+    handler accounts for both covered ops.
+    """
+    fused = list(ops)
+    targets = branch_targets(ops)
+    i = 0
+    last = len(ops) - 1
+    while i < last:
+        if i + 1 in targets:
+            i += 1
+            continue
+        a, b = ops[i], ops[i + 1]
+        oa, ob = a[0], b[0]
+        out = None
+        if oa == N.GTYPE and ob == N.UNBOX:
+            # guard-then-unbox of the guarded scalar (the canonical LD_VAR
+            # speculation sequence)
+            out = (N.GTYPE_UNBOX, a[1], a[2], a[3], b[1], b[2])
+        elif oa in _CMP_OPS and ob == N.BRT and b[1] == a[1]:
+            # compare feeding its branch: loop conditions
+            out = (N.CMP_BRT, oa, a[1], a[2], a[3], b[2], b[3])
+        elif oa == N.VLOAD and ob == N.PADD:
+            # element load feeding an accumulate (sum/colsum kernels)
+            out = (N.VLOAD_PADD, a[1], a[2], a[3], a[4], b[1], b[2], b[3])
+        elif oa == N.BOX and ob == N.RET and b[1] == a[1]:
+            # box the return value and return it
+            out = (N.BOX_RET, a[1], a[2], a[3])
+        if out is not None:
+            fused[i] = out
+            fused[i + 1] = (N.FUSED_GAP,)
+            i += 2
+        else:
+            i += 1
+    return fused

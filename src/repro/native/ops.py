@@ -63,6 +63,15 @@ CALLB = 51
 CALLS = 52
 CALLG = 53
 
+# superinstructions (threaded dispatch only; never appear in NativeCode.ops,
+# only in the fused stream the closure compiler consumes).  Each covers two
+# reference ops and is accounted as two in the telemetry.
+GTYPE_UNBOX = 60   # (op, guard_reg, rtype, deopt_id, dst, src)
+CMP_BRT = 61       # (op, cmp_op, dst, a, b, true_idx, false_idx)
+VLOAD_PADD = 62    # (op, vdst, vec, idx, deopt_id, adst, aa, ab)
+BOX_RET = 63       # (op, dst, src, kind)
+FUSED_GAP = 64     # placeholder at the consumed slot; never executed
+
 NAMES = {v: k for k, v in list(globals().items()) if isinstance(v, int) and not k.startswith("_")}
 
 

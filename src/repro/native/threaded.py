@@ -1,0 +1,987 @@
+"""Closure-compiled threaded dispatch for the native tier.
+
+The reference executor (:func:`repro.native.executor.execute_ref`) re-decodes
+every op through a ~40-arm ``if/elif`` chain.  This module compiles a
+:class:`~repro.native.lower.NativeCode` **once** into a flat array of Python
+closures — one handler per op, with operand and register indices captured in
+cell variables and branch targets resolved to handler indices — so executing
+an op is a single indexed call.  The compiled array is cached on the
+``NativeCode`` object; recursion and re-entry share it (all per-activation
+state lives in a :class:`Frame`).
+
+Three additional compile-time transformations, all telemetry-neutral:
+
+* **superinstruction fusion** (:func:`repro.native.lower.fuse_superinstructions`)
+  merges the dominant hot pairs (``GTYPE``+``UNBOX``, compare+``BRT``,
+  ``VLOAD``+``PADD``, ``BOX``+``RET``) into one handler each;
+* **jump threading** folds unconditional ``JMP`` chains into the preceding
+  handler's successor edge, removing the dispatch entirely;
+* **batched op accounting**: every handler knows statically how many
+  reference ops it covers (its own, a fused partner, folded jumps) and bumps
+  the activation counters by that amount, so ``native_ops``,
+  ``native_generic_ops`` and ``guards_executed`` totals — and the chaos-mode
+  RNG call sequence — are *identical* to the reference loop's
+  (tests/test_threaded_equivalence.py proves this differentially).
+
+Guard failures build the runtime FrameState from the op's DeoptDescr and
+tail-call ``vm.deopt`` exactly like the reference executor (paper Listing 3).
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from typing import Any, Callable, List, Optional
+
+from ..bytecode.interpreter import call_function, force as force_value
+from ..osr.framestate import DeoptReason, DeoptReasonKind
+from ..runtime import coerce
+from ..runtime.rtypes import Kind, RType
+from ..runtime.values import (
+    NULL,
+    RBuiltin,
+    RClosure,
+    RError,
+    RPromise,
+    RVector,
+    rtype_quick,
+)
+from . import ops as N
+from .lower import NativeCode, fuse_superinstructions
+
+
+class Frame:
+    """Per-activation state threaded through the handler closures."""
+
+    __slots__ = (
+        "regs", "vm", "state", "closure_env", "ncode",
+        "chaos", "chaos_rate", "nexec", "ngen", "nguards", "result",
+    )
+
+    def __init__(self, regs, vm, closure_env, ncode):
+        self.regs = regs
+        self.vm = vm
+        self.state = vm.state
+        self.closure_env = closure_env
+        self.ncode = ncode
+        rate = vm.config.chaos_rate
+        self.chaos = vm.chaos_rng if rate > 0.0 else None
+        self.chaos_rate = rate
+        self.nexec = 0
+        self.ngen = 0
+        self.nguards = 0
+        self.result = None
+
+
+def _deopt(f: Frame, deopt_id: int, observed=None, kind_override=None, adjust: int = 0):
+    """Tail-call ``vm.deopt``; ``adjust`` undoes edge ops pre-counted by the
+    handler that the deopt exit never executed (folded jumps, the second half
+    of a superinstruction)."""
+    ncode = f.ncode
+    descr = ncode.deopts[deopt_id]
+    fs = build_framestate(ncode, f.regs, descr, f.closure_env)
+    reason = DeoptReason(
+        kind_override or descr.reason_kind,
+        descr.reason_pc,
+        observed=observed,
+        expected=descr.expected,
+    )
+    state = f.state
+    state.native_ops += f.nexec - adjust
+    state.native_generic_ops += f.ngen
+    state.guards_executed += f.nguards
+    f.nexec = f.ngen = f.nguards = 0
+    f.result = f.vm.deopt(fs, reason, origin=ncode)
+    return -1
+
+
+def _follow(ops: List[tuple], idx: int):
+    """Resolve a successor edge through unconditional-jump chains.
+
+    Returns ``(handler_index, folded)`` where ``folded`` is the number of
+    ``JMP`` ops the edge skips; the edge's handler adds it to ``nexec`` so
+    totals match the reference loop, which dispatches each jump.
+    """
+    folded = 0
+    seen = set()
+    while ops[idx][0] == N.JMP:
+        if idx in seen:  # pragma: no cover - a JMP cycle cannot terminate
+            return idx, 0
+        seen.add(idx)
+        folded += 1
+        idx = ops[idx][1]
+    return idx, folded
+
+
+# ---------------------------------------------------------------------------
+# handler factories — one per opcode
+#
+# Each factory captures the op's operands in locals (cell vars of the
+# returned closure), plus the resolved successor index ``nxt`` and the total
+# op count ``inc`` of the success edge (own ops + folded jumps).
+# ---------------------------------------------------------------------------
+
+def _arith2(py_op):
+    def factory(ins, idx, ops):
+        d, a, b = ins[1], ins[2], ins[3]
+        nxt, fold = _follow(ops, idx + 1)
+        inc = 1 + fold
+
+        def h(f):
+            r = f.regs
+            r[d] = py_op(r[a], r[b])
+            f.nexec += inc
+            return nxt
+        return h
+    return factory
+
+
+_f_padd = _arith2(operator.add)
+_f_psub = _arith2(operator.sub)
+_f_pmul = _arith2(operator.mul)
+_f_plt = _arith2(operator.lt)
+_f_ple = _arith2(operator.le)
+_f_pgt = _arith2(operator.gt)
+_f_pge = _arith2(operator.ge)
+_f_peq = _arith2(operator.eq)
+_f_pne = _arith2(operator.ne)
+
+
+def _f_pdiv(ins, idx, ops):
+    d, a, b = ins[1], ins[2], ins[3]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        x = r[a]
+        y = r[b]
+        if y == 0:
+            if isinstance(x, complex) or isinstance(y, complex):
+                raise RError("complex division by zero")
+            r[d] = float("nan") if x == 0 else math.copysign(math.inf, x)
+        else:
+            r[d] = x / y
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_ppow(ins, idx, ops):
+    d, a, b = ins[1], ins[2], ins[3]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        x = r[a]
+        y = r[b]
+        try:
+            v = x ** y
+        except (OverflowError, ZeroDivisionError):
+            v = math.inf
+        if isinstance(v, complex) and not (isinstance(x, complex) or isinstance(y, complex)):
+            v = float("nan")
+        elif isinstance(v, int):
+            # int ** int is an int in Python but a double in R; keep the
+            # register's representation consistent with its static type
+            v = float(v)
+        r[d] = v
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_pneg(ins, idx, ops):
+    d, a = ins[1], ins[2]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        r[d] = -r[a]
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_pnot(ins, idx, ops):
+    d, a = ins[1], ins[2]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        r[d] = not r[a]
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_pmodi(ins, idx, ops):
+    d, a, b, did = ins[1], ins[2], ins[3], ins[4]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        f.nexec += inc
+        y = r[b]
+        if y == 0:
+            return _deopt(f, did, adjust=fold)
+        r[d] = r[a] % y
+        return nxt
+    return h
+
+
+def _f_pidivi(ins, idx, ops):
+    d, a, b, did = ins[1], ins[2], ins[3], ins[4]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        f.nexec += inc
+        y = r[b]
+        if y == 0:
+            return _deopt(f, did, adjust=fold)
+        r[d] = r[a] // y
+        return nxt
+    return h
+
+
+def _f_pmodf(ins, idx, ops):
+    d, a, b = ins[1], ins[2], ins[3]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        y = r[b]
+        x = r[a]
+        r[d] = float("nan") if y == 0 else x - math.floor(x / y) * y
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_pidivf(ins, idx, ops):
+    d, a, b = ins[1], ins[2], ins[3]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        y = r[b]
+        x = r[a]
+        if y == 0:
+            r[d] = math.inf if x > 0 else (-math.inf if x < 0 else float("nan"))
+        else:
+            r[d] = float(math.floor(x / y))
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_move(ins, idx, ops):
+    d, a = ins[1], ins[2]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        r[d] = r[a]
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_jmp(ins, idx, ops):
+    # only dispatched when the JMP is itself an entry point of a cycle or
+    # the function entry; other edges fold it away
+    nxt, fold = _follow(ops, ins[1])
+    inc = 1 + fold
+
+    def h(f):
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_brt(ins, idx, ops):
+    c = ins[1]
+    t, t_fold = _follow(ops, ins[2])
+    e, e_fold = _follow(ops, ins[3])
+    t_inc = 1 + t_fold
+    e_inc = 1 + e_fold
+
+    def h(f):
+        if f.regs[c]:
+            f.nexec += t_inc
+            return t
+        f.nexec += e_inc
+        return e
+    return h
+
+
+def _f_vload(ins, idx, ops):
+    d, vec, ix, did = ins[1], ins[2], ins[3], ins[4]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        f.nexec += inc
+        v = r[vec]
+        i = r[ix]
+        data = v.data
+        if i < 1 or i > len(data):
+            raise RError("subscript out of bounds")
+        x = data[int(i) - 1]
+        if x is None:
+            return _deopt(f, did, observed=RType(v.kind, scalar=True, maybe_na=True),
+                          adjust=fold)
+        r[d] = x
+        return nxt
+    return h
+
+
+def _f_vlen(ins, idx, ops):
+    d, a = ins[1], ins[2]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        r[d] = len(r[a].data)
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_vstore(ins, idx, ops):
+    d, vr, ir, xr, kind = ins[1], ins[2], ins[3], ins[4], ins[5]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        v = r[vr]
+        i = int(r[ir])
+        x = r[xr]
+        if (
+            isinstance(v, RVector)
+            and v.named <= 1
+            and v.kind == kind
+            and 1 <= i <= len(v.data)
+        ):
+            v.data[i - 1] = x
+            r[d] = v
+        elif (
+            isinstance(v, RVector)
+            and v.named <= 1
+            and 1 <= i <= len(v.data)
+            and v.kind == Kind.DBL
+            and kind in (Kind.LGL, Kind.INT)
+        ):
+            v.data[i - 1] = float(x)
+            r[d] = v
+        else:
+            boxed = RVector(kind, [x])
+            r[d] = coerce.assign2(v, RVector(Kind.INT, [i]), boxed)
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _box_value(x, kind):
+    """Representation-correcting scalar boxing (see the reference BOX arm)."""
+    if kind == Kind.DBL:
+        if type(x) is int:
+            x = float(x)
+    elif kind == Kind.INT:
+        if type(x) is bool:
+            x = int(x)
+    elif kind == Kind.CPLX:
+        if not isinstance(x, complex) and x is not None:
+            x = complex(x)
+    return RVector(kind, [x])
+
+
+def _f_box(ins, idx, ops):
+    d, a, kind = ins[1], ins[2], ins[3]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        r[d] = _box_value(r[a], kind)
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_unbox(ins, idx, ops):
+    d, a = ins[1], ins[2]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        r[d] = r[a].data[0]
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_ret(ins, idx, ops):
+    a = ins[1]
+
+    def h(f):
+        state = f.state
+        state.native_ops += f.nexec + 1
+        state.native_generic_ops += f.ngen
+        state.guards_executed += f.nguards
+        f.result = f.regs[a]
+        return -1
+    return h
+
+
+def _f_gtype(ins, idx, ops):
+    reg, t, did = ins[1], ins[2], ins[3]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        f.nexec += inc
+        f.nguards += 1
+        v = f.regs[reg]
+        if not _type_matches(v, t):
+            return _deopt(f, did, observed=rtype_quick(v), adjust=fold)
+        chaos = f.chaos
+        if chaos is not None and chaos.random() < f.chaos_rate:
+            return _deopt(f, did, observed=rtype_quick(v),
+                          kind_override=DeoptReasonKind.CHAOS, adjust=fold)
+        return nxt
+    return h
+
+
+def _f_gident(ins, idx, ops):
+    reg, expected, did = ins[1], ins[2], ins[3]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        f.nexec += inc
+        f.nguards += 1
+        v = f.regs[reg]
+        if v is not expected:
+            return _deopt(f, did, observed=v, adjust=fold)
+        chaos = f.chaos
+        if chaos is not None and chaos.random() < f.chaos_rate:
+            return _deopt(f, did, observed=v,
+                          kind_override=DeoptReasonKind.CHAOS, adjust=fold)
+        return nxt
+    return h
+
+
+def _f_assume(ins, idx, ops):
+    reg, did = ins[1], ins[2]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        f.nexec += inc
+        f.nguards += 1
+        if not f.regs[reg]:
+            return _deopt(f, did, adjust=fold)
+        chaos = f.chaos
+        if chaos is not None and chaos.random() < f.chaos_rate:
+            return _deopt(f, did, kind_override=DeoptReasonKind.CHAOS, adjust=fold)
+        return nxt
+    return h
+
+
+def _f_istype(ins, idx, ops):
+    d, a, t = ins[1], ins[2], ins[3]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        r[d] = _type_matches(r[a], t)
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_isident(ins, idx, ops):
+    d, a, expected = ins[1], ins[2], ins[3]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        r[d] = r[a] is expected
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_force(ins, idx, ops):
+    d, a = ins[1], ins[2]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        v = r[a]
+        r[d] = force_value(v, f.vm) if isinstance(v, RPromise) else v
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_as_lgl(ins, idx, ops):
+    d, a = ins[1], ins[2]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        v = r[a]
+        r[d] = v.is_true() if isinstance(v, RVector) else _as_bool(v)
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _gen2(coerce_fn):
+    def factory(ins, idx, ops):
+        d, op, a, b = ins[1], ins[2], ins[3], ins[4]
+        nxt, fold = _follow(ops, idx + 1)
+        inc = 1 + fold
+
+        def h(f):
+            r = f.regs
+            r[d] = coerce_fn(op, r[a], r[b])
+            f.ngen += 1
+            f.nexec += inc
+            return nxt
+        return h
+    return factory
+
+
+_f_gen_arith = _gen2(coerce.arith)
+_f_gen_compare = _gen2(coerce.compare)
+_f_gen_logic = _gen2(coerce.logic)
+
+
+def _f_gen_unary(ins, idx, ops):
+    d, op, a = ins[1], ins[2], ins[3]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        r[d] = coerce.unary(op, r[a])
+        f.ngen += 1
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _gen_pair(coerce_fn):
+    def factory(ins, idx, ops):
+        d, a, b = ins[1], ins[2], ins[3]
+        nxt, fold = _follow(ops, idx + 1)
+        inc = 1 + fold
+
+        def h(f):
+            r = f.regs
+            r[d] = coerce_fn(r[a], r[b])
+            f.ngen += 1
+            f.nexec += inc
+            return nxt
+        return h
+    return factory
+
+
+_f_gen_colon = _gen_pair(coerce.colon)
+_f_gen_ex2 = _gen_pair(coerce.extract2)
+_f_gen_ex1 = _gen_pair(coerce.extract1)
+
+
+def _gen_triple(set_fn):
+    def factory(ins, idx, ops):
+        d, a, b, c = ins[1], ins[2], ins[3], ins[4]
+        nxt, fold = _follow(ops, idx + 1)
+        inc = 1 + fold
+
+        def h(f):
+            r = f.regs
+            r[d] = set_fn(r[a], r[b], r[c])
+            f.ngen += 1
+            f.nexec += inc
+            return nxt
+        return h
+    return factory
+
+
+def _f_gen_seqlen(ins, idx, ops):
+    d, a = ins[1], ins[2]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        v = r[a]
+        if isinstance(v, RVector):
+            n = len(v.data)
+        elif v is NULL:
+            n = 0
+        else:
+            n = 1
+        r[d] = RVector(Kind.INT, [n])
+        f.ngen += 1
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_checkfun(ins, idx, ops):
+    a = ins[1]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        if not isinstance(f.regs[a], (RClosure, RBuiltin)):
+            raise RError("attempt to apply non-function")
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_ldvar_env(ins, idx, ops):
+    d, e, name = ins[1], ins[2], ins[3]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        v = r[e].get(name)
+        if isinstance(v, RPromise):
+            v = force_value(v, f.vm)
+        r[d] = v
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_ldvar_free(ins, idx, ops):
+    d, name = ins[1], ins[2]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        v = f.closure_env.get(name)
+        if isinstance(v, RPromise):
+            v = force_value(v, f.vm)
+        f.regs[d] = v
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_stvar_env(ins, idx, ops):
+    e, name, a = ins[1], ins[2], ins[3]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        env = r[e]
+        val = r[a]
+        if isinstance(val, RVector):
+            if val.named == 0:
+                val.named = 1
+            elif env.bindings.get(name) is not val:
+                val.named = 2
+        env.set(name, val)
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_stsuper(ins, idx, ops):
+    e, name, a = ins[1], ins[2], ins[3]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        val = f.regs[a]
+        if isinstance(val, RVector):
+            val.named = 2
+        if e is not None:
+            f.regs[e].set_super(name, val)
+        else:
+            # elided local env: the nearest enclosing binding starts at the
+            # closure's lexical environment
+            _super_assign_from(f.closure_env, name, val)
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_ldfun(ins, idx, ops):
+    d, e, name = ins[1], ins[2], ins[3]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        env = r[e] if e is not None else f.closure_env
+        r[d] = env.get_function(name)
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_mkclosure(ins, idx, ops):
+    d, e, payload = ins[1], ins[2], ins[3]
+    code, formals, fname = payload
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        r[d] = RClosure(formals, code, r[e], fname)
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_mkpromise(ins, idx, ops):
+    d, e, thunk = ins[1], ins[2], ins[3]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        r[d] = RPromise(thunk, r[e])
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_callb(ins, idx, ops):
+    d, builtin, argregs = ins[1], ins[2], ins[3]
+    fn = builtin.fn
+    nxt, fold = _follow(ops, idx + 1)
+
+    def h(f):
+        # flush before the call (matching the reference loop) so nested
+        # activations observe up-to-date totals
+        f.state.native_ops += f.nexec + 1
+        f.nexec = fold
+        r = f.regs
+        vm = f.vm
+        fargs = [force_value(r[x], vm) for x in argregs]
+        r[d] = fn(fargs, vm)
+        return nxt
+    return h
+
+
+def _f_calls(ins, idx, ops):
+    d, closure, argregs, call_names = ins[1], ins[2], ins[3], ins[4]
+    nxt, fold = _follow(ops, idx + 1)
+
+    def h(f):
+        f.state.native_ops += f.nexec + 1
+        f.nexec = fold
+        r = f.regs
+        r[d] = f.vm.call_closure(closure, [r[x] for x in argregs], call_names)
+        return nxt
+    return h
+
+
+def _f_callg(ins, idx, ops):
+    d, fnreg, argregs, call_names = ins[1], ins[2], ins[3], ins[4]
+    nxt, fold = _follow(ops, idx + 1)
+
+    def h(f):
+        f.state.native_ops += f.nexec + 1
+        f.nexec = fold
+        r = f.regs
+        r[d] = call_function(r[fnreg], [r[x] for x in argregs], call_names, f.vm)
+        return nxt
+    return h
+
+
+# -- superinstruction handlers ----------------------------------------------
+
+def _f_gtype_unbox(ins, idx, ops):
+    reg, t, did, d, a = ins[1], ins[2], ins[3], ins[4], ins[5]
+    nxt, fold = _follow(ops, idx + 2)
+    inc = 2 + fold
+
+    def h(f):
+        r = f.regs
+        f.nexec += inc
+        f.nguards += 1
+        v = r[reg]
+        if not _type_matches(v, t):
+            return _deopt(f, did, observed=rtype_quick(v), adjust=fold + 1)
+        chaos = f.chaos
+        if chaos is not None and chaos.random() < f.chaos_rate:
+            return _deopt(f, did, observed=rtype_quick(v),
+                          kind_override=DeoptReasonKind.CHAOS, adjust=fold + 1)
+        r[d] = r[a].data[0]
+        return nxt
+    return h
+
+
+_CMP_FN = {
+    N.PLT: operator.lt, N.PLE: operator.le, N.PGT: operator.gt,
+    N.PGE: operator.ge, N.PEQ: operator.eq, N.PNE: operator.ne,
+}
+
+
+def _f_cmp_brt(ins, idx, ops):
+    cmp_fn = _CMP_FN[ins[1]]
+    d, a, b = ins[2], ins[3], ins[4]
+    t, t_fold = _follow(ops, ins[5])
+    e, e_fold = _follow(ops, ins[6])
+    t_inc = 2 + t_fold
+    e_inc = 2 + e_fold
+
+    def h(f):
+        r = f.regs
+        x = cmp_fn(r[a], r[b])
+        r[d] = x
+        if x:
+            f.nexec += t_inc
+            return t
+        f.nexec += e_inc
+        return e
+    return h
+
+
+def _f_vload_padd(ins, idx, ops):
+    d, vec, ix, did, ad, aa, ab = ins[1], ins[2], ins[3], ins[4], ins[5], ins[6], ins[7]
+    nxt, fold = _follow(ops, idx + 2)
+    inc = 2 + fold
+
+    def h(f):
+        r = f.regs
+        f.nexec += inc
+        v = r[vec]
+        i = r[ix]
+        data = v.data
+        if i < 1 or i > len(data):
+            raise RError("subscript out of bounds")
+        x = data[int(i) - 1]
+        if x is None:
+            return _deopt(f, did, observed=RType(v.kind, scalar=True, maybe_na=True),
+                          adjust=fold + 1)
+        r[d] = x
+        r[ad] = r[aa] + r[ab]
+        return nxt
+    return h
+
+
+def _f_box_ret(ins, idx, ops):
+    d, a, kind = ins[1], ins[2], ins[3]
+
+    def h(f):
+        boxed = _box_value(f.regs[a], kind)
+        f.regs[d] = boxed
+        state = f.state
+        state.native_ops += f.nexec + 2
+        state.native_generic_ops += f.ngen
+        state.guards_executed += f.nguards
+        f.result = boxed
+        return -1
+    return h
+
+
+def _f_gap(ins, idx, ops):  # pragma: no cover - unreachable by construction
+    def h(f):
+        raise AssertionError("fused superinstruction gap executed at %d" % idx)
+    return h
+
+
+_FACTORIES = {
+    N.PADD: _f_padd, N.PSUB: _f_psub, N.PMUL: _f_pmul, N.PDIV: _f_pdiv,
+    N.PPOW: _f_ppow, N.PNEG: _f_pneg, N.PNOT: _f_pnot,
+    N.PMODI: _f_pmodi, N.PIDIVI: _f_pidivi, N.PMODF: _f_pmodf, N.PIDIVF: _f_pidivf,
+    N.PLT: _f_plt, N.PLE: _f_ple, N.PGT: _f_pgt, N.PGE: _f_pge,
+    N.PEQ: _f_peq, N.PNE: _f_pne,
+    N.MOVE: _f_move, N.JMP: _f_jmp, N.BRT: _f_brt,
+    N.VLOAD: _f_vload, N.VLEN: _f_vlen, N.VSTORE: _f_vstore,
+    N.BOX: _f_box, N.UNBOX: _f_unbox, N.RET: _f_ret,
+    N.GTYPE: _f_gtype, N.GIDENT: _f_gident, N.ASSUME: _f_assume,
+    N.ISTYPE: _f_istype, N.ISIDENT: _f_isident,
+    N.FORCE: _f_force, N.AS_LGL: _f_as_lgl,
+    N.GEN_ARITH: _f_gen_arith, N.GEN_COMPARE: _f_gen_compare,
+    N.GEN_LOGIC: _f_gen_logic, N.GEN_UNARY: _f_gen_unary,
+    N.GEN_COLON: _f_gen_colon, N.GEN_EX2: _f_gen_ex2, N.GEN_EX1: _f_gen_ex1,
+    N.GEN_SEQLEN: _f_gen_seqlen,
+    N.CHECKFUN: _f_checkfun,
+    N.LDVAR_ENV: _f_ldvar_env, N.LDVAR_FREE: _f_ldvar_free,
+    N.STVAR_ENV: _f_stvar_env, N.STSUPER: _f_stsuper, N.LDFUN: _f_ldfun,
+    N.MKCLOSURE: _f_mkclosure, N.MKPROMISE: _f_mkpromise,
+    N.CALLB: _f_callb, N.CALLS: _f_calls, N.CALLG: _f_callg,
+    N.GTYPE_UNBOX: _f_gtype_unbox, N.CMP_BRT: _f_cmp_brt,
+    N.VLOAD_PADD: _f_vload_padd, N.BOX_RET: _f_box_ret,
+    N.FUSED_GAP: _f_gap,
+}
+
+
+def compile_threaded(ncode: NativeCode) -> List[Callable[[Frame], int]]:
+    """Compile ``ncode.ops`` into the cached handler array (idempotent)."""
+    ops = fuse_superinstructions(ncode.ops)
+    handlers: List[Any] = [None] * len(ops)
+    for i, ins in enumerate(ops):
+        try:
+            factory = _FACTORIES[ins[0]]
+        except KeyError:  # pragma: no cover - unreachable with a correct lowerer
+            raise RError("bad native opcode %d" % ins[0])
+        handlers[i] = factory(ins, i, ops)
+    ncode.threaded = handlers
+    return handlers
+
+
+def execute_threaded(ncode: NativeCode, args: List[Any], vm, closure_env=None) -> Any:
+    """Run native code through the threaded-dispatch handler array."""
+    handlers = ncode.threaded
+    if handlers is None:
+        handlers = compile_threaded(ncode)
+    regs = list(ncode.reg_init)
+    for r, a in zip(ncode.param_regs, args):
+        regs[r] = a
+    if closure_env is None and ncode.closure is not None:
+        closure_env = ncode.closure.env
+
+    f = Frame(regs, vm, closure_env, ncode)
+    pc = 0
+    while pc >= 0:
+        pc = handlers[pc](f)
+    return f.result
+
+
+# imported late: executor.py imports this module at its bottom, after these
+# helpers are defined (shared with the reference loop so the guard/deopt
+# semantics can never drift apart)
+from .executor import (  # noqa: E402
+    _as_bool,
+    _generic_set2 as _set2,
+    _super_assign_from,
+    _type_matches,
+    build_framestate,
+)
+
+_f_gen_set2 = _gen_triple(_set2)
+_f_gen_set1 = _gen_triple(coerce.assign1)
+_FACTORIES[N.GEN_SET2] = _f_gen_set2
+_FACTORIES[N.GEN_SET1] = _f_gen_set1

@@ -1,0 +1,96 @@
+"""Differential proof that threaded dispatch is equivalent to the reference loops.
+
+Both execution engines — the closure-compiled threaded dispatchers (default)
+and the original if/elif reference loops (``RERPO_REF_EXEC=1``) — must be
+observationally identical: same results, same deopt event stream, and the
+exact same op/guard telemetry (the cost model's inputs).  Every workload in
+the benchmark registry is run under both engines across tier configurations,
+including chaos mode with fixed seeds, and the full dispatch signatures are
+compared.
+"""
+
+import pytest
+
+from conftest import make_vm
+from repro import from_r
+from repro.bench.programs import REGISTRY
+
+#: engine-equivalence must hold in every execution mode, including chaos
+#: (which additionally proves the engines consume the chaos RNG in the same
+#: sequence: any extra or missing guard check would desynchronize it)
+ENGINE_CONFIGS = {
+    "interp": dict(enable_jit=False),
+    "jit": dict(compile_threshold=1, osr_threshold=50),
+    "deoptless": dict(compile_threshold=1, osr_threshold=50, enable_deoptless=True),
+    "chaos": dict(
+        compile_threshold=1,
+        osr_threshold=50,
+        enable_deoptless=True,
+        chaos_rate=0.05,
+        chaos_seed=1234,
+    ),
+}
+
+
+def run_workload(name, cfg, threaded, repeats=2):
+    w = REGISTRY.get(name)
+    vm = make_vm(threaded_dispatch=threaded, **cfg)
+    vm.eval(w.source)
+    vm.eval(w.setup_code(w.n_test))
+    results = [from_r(vm.eval(w.call_code(w.n_test))) for _ in range(repeats)]
+    return results, vm.state.dispatch_signature()
+
+
+@pytest.mark.parametrize("mode", sorted(ENGINE_CONFIGS))
+@pytest.mark.parametrize("name", REGISTRY.names())
+def test_threaded_matches_reference(name, mode):
+    cfg = ENGINE_CONFIGS[mode]
+    t_results, t_sig = run_workload(name, cfg, threaded=True)
+    r_results, r_sig = run_workload(name, cfg, threaded=False)
+    assert t_results == r_results, "%s[%s]: results diverged" % (name, mode)
+    for key in r_sig:
+        assert t_sig[key] == r_sig[key], (
+            "%s[%s]: %s diverged: threaded=%r reference=%r"
+            % (name, mode, key, t_sig[key], r_sig[key])
+        )
+
+
+def test_ref_exec_env_var_selects_reference(monkeypatch):
+    from repro.jit.config import Config
+
+    monkeypatch.setenv("RERPO_REF_EXEC", "1")
+    assert Config().threaded_dispatch is False
+    monkeypatch.delenv("RERPO_REF_EXEC")
+    assert Config().threaded_dispatch is True
+
+
+def test_threaded_code_is_cached_and_fused():
+    """The handler array is compiled once per NativeCode and contains at
+    least one superinstruction for a vector-summing loop."""
+    from repro.native import ops as N
+    from repro.native.lower import fuse_superinstructions
+
+    vm = make_vm(compile_threshold=1, osr_threshold=50, threaded_dispatch=True)
+    vm.eval(
+        """
+        s <- function(v) {
+          n <- length(v); acc <- 0; i <- 1
+          while (i <= n) { acc <- acc + v[[i]]; i <- i + 1 }
+          acc
+        }
+        v <- c(1, 2, 3, 4, 5, 6, 7, 8)
+        r <- 0
+        for (k in 1:30) r <- r + s(v)
+        """
+    )
+    closure = vm.get_global("s")
+    assert closure.jit is not None and closure.jit.version is not None, "nothing compiled"
+    ncodes = [closure.jit.version]
+    fused_ops = set()
+    for nc in ncodes:
+        assert nc.threaded is not None, "threaded handlers not cached"
+        assert len(nc.threaded) == len(nc.ops)
+        fused_ops |= {op[0] for op in fuse_superinstructions(nc.ops)}
+    assert fused_ops & {
+        N.GTYPE_UNBOX, N.CMP_BRT, N.VLOAD_PADD, N.BOX_RET
+    }, "no superinstruction formed in a hot vector loop"
