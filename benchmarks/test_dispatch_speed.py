@@ -1,13 +1,23 @@
-"""Dispatch micro-benchmark — threaded executors vs the reference loops.
+"""Dispatch micro-benchmark — vectorized vs threaded vs reference engines.
 
-The closure-compiled threaded dispatch (with superinstruction fusion and
-jump threading) must buy real wall-clock on the native tier: the acceptance
-bar is a >=1.3x geomean over the sum (Listing 1) and colsum (Listing 8)
-kernels against the ``RERPO_REF_EXEC`` reference executors, with identical
-telemetry (proven separately by tests/test_threaded_equivalence.py).
+Two layered acceptance bars on the native tier:
+
+* the closure-compiled threaded dispatch (superinstruction fusion + jump
+  threading) must keep its >=1.3x geomean over the reference loops
+  (``RERPO_REF_EXEC``) on the sum/colsum kernels — the PR-1 bar;
+* guard-hoisted loop vectorization (``opt/vectorize.py``) must buy a >=3x
+  additional geomean over the *threaded scalar* engine on the headline
+  kernels (sum, colsum, spectralnorm).  spectralnorm's hot loops call a
+  closure per element and are legitimately rejected by the vectorizer, so
+  it contributes ~1.0x — the bulk kernels of sum/colsum must carry the
+  geomean past the bar anyway.
+
+All three engines must produce identical dispatch signatures: kernel
+accounting charges covered elements at exact scalar rates (the per-element
+op totals of the replaced loop), so only wall-clock may differ.
 
 Results are persisted as JSON via the harness (``benchmarks/results/`` or
-``$REPRO_BENCH_JSON_DIR``) so CI can track the dispatch overhead over time.
+``$REPRO_BENCH_JSON_DIR``) so CI can track both layers over time.
 """
 
 import time
@@ -24,11 +34,19 @@ KERNELS = {
     "colsum": (200, 2000),
 }
 
+#: the vectorization headline set (ISSUE: sum, colsum, spectralnorm)
+VEC_KERNELS = {
+    "sum_phases": (4000, 40000),
+    "colsum": (200, 2000),
+    "spectralnorm": (16, 40),
+}
 
-def _time_engine(name, threaded, n, warmup=3, iters=7):
+
+def _time_engine(name, threaded, n, vectorize=False, warmup=3, iters=7):
     w = REGISTRY.get(name)
     cfg = Config(compile_threshold=1, osr_threshold=50)
     cfg.threaded_dispatch = threaded
+    cfg.vectorize = vectorize
     vm = RVM(cfg)
     vm.eval(w.source)
     vm.eval(w.setup_code(n))
@@ -40,7 +58,7 @@ def _time_engine(name, threaded, n, warmup=3, iters=7):
         t0 = time.perf_counter()
         vm.eval(call)
         times.append(time.perf_counter() - t0)
-    return min(times), vm.state.dispatch_signature()
+    return min(times), vm.state.dispatch_signature(), vm.state.kernel_elements
 
 
 def test_threaded_dispatch_speedup(bench_scale):
@@ -48,8 +66,8 @@ def test_threaded_dispatch_speedup(bench_scale):
     payload = {"scale": bench_scale, "kernels": {}}
     for name, (n_test, n_full) in KERNELS.items():
         n = n_full if bench_scale == "full" else n_test
-        t_time, t_sig = _time_engine(name, threaded=True, n=n)
-        r_time, r_sig = _time_engine(name, threaded=False, n=n)
+        t_time, t_sig, _ = _time_engine(name, threaded=True, n=n)
+        r_time, r_sig, _ = _time_engine(name, threaded=False, n=n)
         speedup = r_time / t_time
         rows.append((name, speedup, "n=%d" % n))
         payload["kernels"][name] = {
@@ -76,3 +94,51 @@ def test_threaded_dispatch_speedup(bench_scale):
     assert payload["geomean_speedup"] >= 1.3, "threaded dispatch below the 1.3x bar"
     for name, speedup, _ in rows:
         assert speedup >= 1.1, "%s: threaded dispatch barely helps (%.2fx)" % (name, speedup)
+
+
+def test_vectorize_speedup(bench_scale):
+    rows = []
+    payload = {"scale": bench_scale, "kernels": {}}
+    for name, (n_test, n_full) in VEC_KERNELS.items():
+        n = n_full if bench_scale == "full" else n_test
+        v_time, v_sig, v_ke = _time_engine(name, threaded=True, n=n, vectorize=True)
+        t_time, t_sig, _ = _time_engine(name, threaded=True, n=n)
+        r_time, r_sig, _ = _time_engine(name, threaded=False, n=n)
+        speedup = t_time / v_time
+        rows.append((name, speedup, "n=%d ke=%d" % (n, v_ke)))
+        payload["kernels"][name] = {
+            "n": n,
+            "vectorized_s": v_time,
+            "threaded_s": t_time,
+            "reference_s": r_time,
+            "speedup_vs_threaded": speedup,
+            "speedup_vs_reference": r_time / v_time,
+            "kernel_elements": v_ke,
+            "native_ops": v_sig["native_ops"],
+        }
+        # kernel accounting is exact: one signature across all three engines
+        assert v_sig == t_sig, "%s: vectorized vs threaded diverged" % name
+        assert v_sig == r_sig, "%s: vectorized vs reference diverged" % name
+
+    speedups = [s for _, s, _ in rows]
+    payload["geomean_speedup_vs_threaded"] = geomean(speedups)
+    path = save_json("BENCH_vectorize", payload)
+    report(
+        "Vectorize: bulk kernels vs threaded scalar (native tier)",
+        format_speedup_table(rows)
+        + "\ngeomean %.2fx  (results -> %s)"
+        % (payload["geomean_speedup_vs_threaded"], path),
+    )
+
+    # acceptance: >=3x additional geomean on the headline kernels; no kernel
+    # may *regress* (spectralnorm legitimately sits at ~1.0x — its loops
+    # call closures and are rejected, so the floor is slightly below 1)
+    assert payload["geomean_speedup_vs_threaded"] >= 3.0, (
+        "vectorization below the 3x bar (%.2fx)"
+        % payload["geomean_speedup_vs_threaded"]
+    )
+    for name, speedup, _ in rows:
+        assert speedup >= 0.85, "%s: vectorization regressed (%.2fx)" % (name, speedup)
+    # the bulk kernels actually covered elements on the kernels that matter
+    assert payload["kernels"]["sum_phases"]["kernel_elements"] > 0
+    assert payload["kernels"]["colsum"]["kernel_elements"] > 0

@@ -185,6 +185,18 @@ def compute_context(fs: FrameState, reason: DeoptReason, config) -> Optional[Deo
 
     Returns None when the state exceeds the configured bounds (such states
     are "skipped": deoptless is not attempted for them).
+
+    Mid-kernel exits take this exact path: when a bulk vector kernel trips
+    at element ``k`` (a chaos invalidation inside ``native/kernels.py``),
+    the kernel has already materialized the loop registers for iteration
+    ``k`` through its :class:`~repro.osr.framestate.KernelFrameTemplate`,
+    so ``fs`` describes the interpreter mid-loop — the loop variable and
+    the partial accumulator are ordinary env entries.  The resulting
+    context is keyed on the in-loop target pc plus the observed element
+    type, and the continuation compiled for it resumes the remaining
+    ``n - k`` elements (its loop is rotated around the resume pc, so it
+    runs in the scalar regime; the next call of the original code re-enters
+    the bulk kernel at the loop preheader as usual).
     """
     if len(fs.stack) > config.deoptless_max_stack:
         return None

@@ -10,11 +10,22 @@ the contexts' partial order.  ``dispatch`` scans for the first entry whose
 context is ≥ the current one, exactly the scan described in section 4.3.
 As in the paper, the linearization "does not favor a particular context,
 should multiple optimal ones exist".
+
+Entries are additionally indexed by ``(target pc, reason kind)``.  Two
+contexts are only comparable when both agree (``DeoptContext.comparable``),
+so the scan can be restricted to one bucket without changing which entry it
+finds; the within-bucket order is inherited from the global specificity
+sort.  The index matters for mid-kernel exits: a bulk vector kernel that
+repeatedly trips at different guards materializes contexts at several
+loop-body pcs of the same function, keyed on the target pc plus the
+observed element type — bucketing keeps each of those dispatch points a
+one-or-two entry scan instead of a walk over every continuation of the
+function.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .context import DeoptContext
 
@@ -24,6 +35,8 @@ class DispatchTable:
         self.max_entries = max_entries
         #: [(context, native_code)] sorted by decreasing specificity
         self.entries: List[Tuple[DeoptContext, object]] = []
+        #: (pc, reason kind) -> entries of that dispatch point, same order
+        self._buckets: Dict[tuple, List[Tuple[DeoptContext, object]]] = {}
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -32,15 +45,21 @@ class DispatchTable:
     def full(self) -> bool:
         return len(self.entries) >= self.max_entries
 
+    def _reindex(self) -> None:
+        buckets: Dict[tuple, List[Tuple[DeoptContext, object]]] = {}
+        for ctx, ncode in self.entries:
+            buckets.setdefault((ctx.pc, ctx.reason.kind), []).append((ctx, ncode))
+        self._buckets = buckets
+
     def dispatch(self, ctx: DeoptContext) -> Optional[object]:
         """First continuation whose compile-time context covers ``ctx``."""
-        for compiled_ctx, ncode in self.entries:
+        for compiled_ctx, ncode in self._buckets.get((ctx.pc, ctx.reason.kind), ()):
             if ctx <= compiled_ctx:
                 return ncode
         return None
 
     def lookup_exact(self, ctx: DeoptContext) -> Optional[object]:
-        for compiled_ctx, ncode in self.entries:
+        for compiled_ctx, ncode in self._buckets.get((ctx.pc, ctx.reason.kind), ()):
             if compiled_ctx == ctx:
                 return ncode
         return None
@@ -57,13 +76,16 @@ class DispatchTable:
         # linearize the partial order: more specific contexts first so that
         # the scan finds the tightest compatible continuation
         self.entries.sort(key=lambda e: -e[0].specificity())
+        self._reindex()
         return True
 
     def remove(self, ncode) -> None:
         self.entries = [(c, n) for c, n in self.entries if n is not ncode]
+        self._reindex()
 
     def clear(self) -> None:
         self.entries = []
+        self._buckets = {}
 
     def total_code_size(self) -> int:
         return sum(n.size for _, n in self.entries)

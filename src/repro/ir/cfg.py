@@ -99,6 +99,8 @@ class Graph:
         #: continuation calling convention (filled by the builder)
         self.cont_var_names: List[str] = []
         self.cont_stack_size = 0
+        #: loop plans annotated by opt/vectorize.py (consumed by the lowerer)
+        self.vector_loops: list = []
 
     def next_id(self) -> int:
         self._next_id += 1

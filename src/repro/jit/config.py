@@ -41,6 +41,13 @@ class Config:
     # -- speculation -----------------------------------------------------------
     enable_speculation: bool = True
     enable_cold_branch_speculation: bool = True
+    #: guard-hoisted loop vectorization (opt/vectorize.py): recognized
+    #: counted loops execute as bulk kernels over the raw vector buffers.
+    #: Kernel accounting charges per covered element at scalar rates (the
+    #: exact per-iteration op/guard/generic counts of the replaced loop), so
+    #: the cost model and dispatch signature are engine-independent; the
+    #: real speedup shows up in wall-clock only (benchmarks/).
+    vectorize: bool = True
 
     # -- deoptless (the paper's contribution) -----------------------------------
     enable_deoptless: bool = False

@@ -44,6 +44,12 @@ class Telemetry:
         self.deoptless_bailouts = 0
         self.compile_failures = 0
         self.invalidations = 0
+        #: elements covered by bulk vector kernels (opt/vectorize.py).
+        #: Engine-dependent by design — scalar engines never run kernels —
+        #: so it is excluded from dispatch_signature(); the covered ops and
+        #: guards are charged to native_ops/guards_executed at scalar rates,
+        #: which is what keeps the signature engine-identical.
+        self.kernel_elements = 0
         self._alloc_mark = RVector.allocations
         #: live compiled code size in native ops (memory proxy)
         self.code_size = 0
@@ -122,6 +128,7 @@ class Telemetry:
             "deopts": self.deopts,
             "deoptless_dispatches": self.deoptless_dispatches,
             "deoptless_compiles": self.deoptless_compiles,
+            "kernel_elements": self.kernel_elements,
             "allocations": self.allocations(),
             "code_size": self.code_size,
         }

@@ -382,6 +382,26 @@ def execute_ref(ncode: NativeCode, args: List[Any], vm, closure_env=None) -> Any
             state.native_ops += nexec
             nexec = 0
             regs[ins[1]] = call_function(regs[ins[2]], [regs[r] for r in ins[3]], ins[4], vm)
+        elif op in N.KERNEL_OPS:
+            # bulk vector kernel (opt/vectorize.py): covers k scalar loop
+            # iterations in one dispatch, or declines with zero effect and
+            # lets the retained scalar loop (which follows) run instead.
+            # The op itself is not an instruction of the scalar program, so
+            # the pre-counted nexec increment is cancelled.
+            res = _kernels.run_kernel(ncode.kernels[ins[1]], regs, vm, closure_env)
+            nexec -= 1
+            tag = res[0]
+            if tag == "ok":
+                nexec += res[1]
+                nguards += res[2]
+                ngen += res[3]
+                state.kernel_elements += res[4]
+            elif tag == "deopt":
+                nexec += res[4]
+                nguards += res[5]
+                ngen += res[6]
+                state.kernel_elements += res[7]
+                return deopt(res[1], observed=res[2], kind_override=res[3])
         else:  # pragma: no cover
             raise RError("bad native opcode %d" % op)
         pc += 1
@@ -412,3 +432,4 @@ def _super_assign_from(env, name: str, value: Any) -> None:
 # imported last: threaded.py pulls the guard/deopt helpers defined above out
 # of this module, so this import must come after they exist
 from .threaded import execute_threaded  # noqa: E402
+from . import kernels as _kernels  # noqa: E402

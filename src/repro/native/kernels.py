@@ -1,0 +1,367 @@
+"""Bulk vector kernels — the runtime half of guard-hoisted vectorization.
+
+``run_kernel`` executes one :class:`~repro.native.lower.KernelDescr` against
+the live register file.  The contract with both executors is *decline or be
+exact*:
+
+* ``('decline',)`` — the kernel had **zero observable effect**; the retained
+  scalar loop (which always follows the kernel op) runs as if the kernel did
+  not exist.  Anything the entry checks cannot prove — a promise in an
+  invariant chain, a failed whole-vector type guard, an aliased output,
+  a non-in-place store — declines.
+* ``('ok', dops, dguards, dgen, covered)`` — ``covered`` full iterations
+  were executed over the raw buffers; the induction and accumulator
+  registers were advanced and the deltas are exactly what the scalar loop
+  would have charged for those iterations.  Bulk execution always stops at
+  an *iteration boundary* chosen so the next scalar iteration reproduces
+  the reference behaviour (the loop exit, an NA element, a bounds error, a
+  type-unstable accumulator ...) with a bit-exact FrameState for free.
+* ``('deopt', did, observed, kind_override, dops, dguards, dgen, covered)``
+  — a chaos-mode draw fired *mid-vector* at element ``k``.  The registers
+  the deopt descriptor reads have already been rebuilt for iteration ``k``
+  via the guard's :class:`~repro.osr.framestate.KernelFrameTemplate`; the
+  caller only needs to flush the deltas and tail-call ``vm.deopt``.
+
+Chaos-mode equivalence: the scalar loop draws the RNG once per executed
+guard, in op order.  Inside the covered range every *real* check is known
+to pass (that is what the entry checks establish), so the kernel replays
+exactly that draw sequence — per iteration, one draw per guard event in
+walk order — and fires the same deopt the scalar loop would have fired.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from typing import Any
+
+from ..osr.framestate import DeoptReasonKind, KernelIterState
+from ..runtime import coerce
+from ..runtime.rtypes import Kind
+from ..runtime.values import RError, RPromise, RVector, rtype_quick
+
+# partial-module import (executor.py imports us at its bottom); attributes
+# are resolved at call time, after both modules finished initializing
+from . import executor as _ex
+
+_DECLINE = ("decline",)
+_FAIL = object()
+
+_CMP = {"<": operator.lt, "<=": operator.le, ">": operator.gt, ">=": operator.ge}
+
+_NUMERIC_KINDS = (Kind.LGL, Kind.INT, Kind.DBL)
+
+
+def _resolve_source(source, regs, closure_env):
+    """The value of an invariant chain root, without observable effects.
+
+    Environment roots re-walk the lexical chain (the scalar loop's
+    ``LDVAR_FREE`` does the same every iteration); an *unforced* promise
+    declines — forcing runs arbitrary code and must happen in the scalar
+    tier.  Already-forced promises read their cached value, which is what
+    ``force`` would return with no side effects.
+    """
+    if source[0] == "reg":
+        v = regs[source[1]]
+    else:
+        name = source[1]
+        e = closure_env
+        v = _FAIL
+        while e is not None:
+            if name in e.bindings:
+                v = e.bindings[name]
+                break
+            e = e.parent
+        if v is _FAIL:
+            return _FAIL
+    if isinstance(v, RPromise):
+        if not v.forced:
+            return _FAIL
+        v = v.value
+    return v
+
+
+def _raw_number(v) -> bool:
+    return not isinstance(v, bool) and isinstance(v, (int, float))
+
+
+def _pdiv(a, b):
+    """Exact replica of the executor's ``PDIV`` op (R division semantics)."""
+    if b == 0:
+        if isinstance(a, complex) or isinstance(b, complex):
+            raise RError("complex division by zero")
+        return float("nan") if a == 0 else math.copysign(math.inf, a)
+    return a / b
+
+
+def _chaos_fire(kd, ev, regs, j0, ji, jd, acc_repr, invs, mapv=None):
+    """Materialize the mid-kernel deopt for guard ``ev`` at data index ``jd``."""
+    it = jd - ji
+    st = KernelIterState(
+        j0 + it,
+        acc=acc_repr,
+        elems={k: invs[k].data[jd] for k in kd.elem_keys},
+        invs=invs,
+        mapv=mapv,
+    )
+    ev.template.materialize(regs, st)
+    gr = ev.guard_role
+    gv = invs[gr[1]] if gr[0] == "inv" else acc_repr
+    io, ig, ie = kd.iter_counts
+    t = ev.template
+    return (
+        "deopt", ev.did, rtype_quick(gv), DeoptReasonKind.CHAOS,
+        it * io + t.ops_into, it * ig + t.guards_into, it * ie + t.gen_into,
+        it,
+    )
+
+
+def run_kernel(kd, regs, vm, closure_env):
+    kind = kd.kind
+    if kind == "disabled":
+        return _DECLINE
+
+    # -- iteration range: [ji, stop) over 0-based data indices ---------------
+    j0 = regs[kd.idx_reg]
+    bound = regs[kd.bound_reg]
+    if not _raw_number(j0) or not _raw_number(bound):
+        return _DECLINE
+    ji = int(j0)
+    if ji != j0 or ji < 0:
+        return _DECLINE
+    end = int(math.ceil(bound)) if isinstance(bound, float) else bound
+    # the iteration-space vector (a verified identity 1:n colon): element
+    # j+1 of it *is* j+1 only for INT identity data, and its length bounds
+    # the range exactly like the scalar VLOAD's subscript check would
+    seq = regs[kd.seq_reg]
+    if not (isinstance(seq, RVector) and seq.kind == Kind.INT):
+        return _DECLINE
+    stop = min(end, len(seq.data))
+    if not kd.seq_static:
+        # opaque loop state (the OSR-entry shape): prove the identity
+        # content over the covered range at runtime
+        if seq.data[ji:stop] != list(range(ji + 1, stop + 1)):
+            return _DECLINE
+    for r in kd.seqv_regs:
+        # the loop-variable phi must hold seq[ji] == ji at the loop head
+        if regs[r] != ji:
+            return _DECLINE
+
+    # -- invariant chains: resolve once, verify the hoisted guards -----------
+    invs = {}
+    for key, source, gtype, _member_regs, indexed in kd.chains:
+        v = _resolve_source(source, regs, closure_env)
+        if v is _FAIL:
+            return _DECLINE
+        if gtype is not None and not _ex._type_matches(v, gtype):
+            # decline, don't deopt: the scalar guard fails on the very next
+            # iteration with a perfectly ordinary FrameState
+            return _DECLINE
+        if indexed:
+            if not isinstance(v, RVector):
+                return _DECLINE
+            stop = min(stop, len(v.data))
+        invs[key] = v
+    if stop <= ji:
+        return _DECLINE
+
+    # bulk execution ends at the first NA of any element-read vector: the
+    # scalar loop then runs that iteration and hits its own NA deopt (or,
+    # for the generic reduce, propagates NA) exactly as the reference does
+    for key in kd.elem_keys:
+        d = invs[key].data
+        try:
+            p = d.index(None, ji, stop)
+        except ValueError:
+            pass
+        else:
+            stop = p
+    if stop <= ji:
+        return _DECLINE
+
+    events = kd.events
+    chaos = vm.chaos_rng if (vm.config.chaos_rate > 0.0 and events) else None
+    rate = vm.config.chaos_rate
+    io, ig, ie = kd.iter_counts
+
+    # -- reductions over one column ------------------------------------------
+    if kind in ("sum", "prod"):
+        if len(kd.elem_keys) != 1:
+            return _DECLINE
+        col = invs[kd.elem_keys[0]]
+        if col.kind not in _NUMERIC_KINDS:
+            return _DECLINE
+        acc = regs[kd.acc_reg]
+        if not _raw_number(acc):
+            return _DECLINE
+        data = col.data
+        if chaos is not None:
+            for jd in range(ji, stop):
+                for ev in events:
+                    if chaos.random() < rate:
+                        return _chaos_fire(kd, ev, regs, j0, ji, jd, acc, invs)
+                acc = acc + data[jd] if kind == "sum" else acc * data[jd]
+        elif kind == "sum":
+            acc = sum(data[ji:stop], acc)
+        else:
+            acc = math.prod(data[ji:stop], start=acc)
+        covered = stop - ji
+        regs[kd.idx_reg] = j0 + covered
+        for r in kd.seqv_regs:
+            regs[r] = ji + covered
+        regs[kd.acc_reg] = acc
+        return ("ok", covered * io, covered * ig, covered * ie, covered)
+
+    # -- the generic boxed reduce (colsum's `total <- total + m[[i]]`) -------
+    if kind == "gsum":
+        if len(kd.elem_keys) != 1:
+            return _DECLINE
+        col = invs[kd.elem_keys[0]]
+        rk = kd.acc_gtype.kind
+        if rk not in (Kind.INT, Kind.DBL):
+            return _DECLINE
+        if coerce._result_kind("+", rk, col.kind) != rk:
+            # kind-unstable accumulator: the per-iteration type guard fails
+            # after one step — let the scalar loop take that deopt
+            return _DECLINE
+        acc_box = regs[kd.acc_reg]
+        if isinstance(acc_box, RPromise):
+            if not acc_box.forced:
+                return _DECLINE
+            acc_box = acc_box.value
+        if not _ex._type_matches(acc_box, kd.acc_gtype):
+            return _DECLINE
+        total = acc_box.data[0]
+        data = col.data
+        widen = rk == Kind.DBL and col.kind != Kind.DBL
+        if chaos is not None:
+            for jd in range(ji, stop):
+                for ev in events:
+                    if chaos.random() < rate:
+                        return _chaos_fire(
+                            kd, ev, regs, j0, ji, jd, RVector(rk, [total]), invs
+                        )
+                x = data[jd]
+                total = total + (float(x) if widen else x)
+        elif widen:
+            total = sum((float(x) for x in data[ji:stop]), total)
+        elif rk == Kind.INT and col.kind == Kind.LGL:
+            total = sum((int(x) for x in data[ji:stop]), total)
+        else:
+            total = sum(data[ji:stop], total)
+        covered = stop - ji
+        regs[kd.idx_reg] = j0 + covered
+        for r in kd.seqv_regs:
+            regs[r] = ji + covered
+        regs[kd.acc_reg] = RVector(rk, [total])
+        return ("ok", covered * io, covered * ig, covered * ie, covered)
+
+    # -- compare-select reduction (min/max) ----------------------------------
+    if kind == "cmp":
+        # guardless body by construction: no chaos draws to replay
+        if len(kd.elem_keys) != 1 or events:
+            return _DECLINE
+        col = invs[kd.elem_keys[0]]
+        if col.kind not in _NUMERIC_KINDS:
+            return _DECLINE
+        acc = regs[kd.acc_reg]
+        if not _raw_number(acc):
+            return _DECLINE
+        fn = _CMP[kd.cmp_op]
+        on_true = kd.cmp_update_on_true
+        elem_first = kd.cmp_elem_first
+        upd = 0
+        data = col.data
+        for jd in range(ji, stop):
+            x = data[jd]
+            c = fn(x, acc) if elem_first else fn(acc, x)
+            if bool(c) == on_true:
+                acc = x
+                upd += 1
+        covered = stop - ji
+        skip = covered - upd
+        uo, ug, ue = kd.upd_counts
+        so, sg, se = kd.skip_counts
+        regs[kd.idx_reg] = j0 + covered
+        for r in kd.seqv_regs:
+            regs[r] = ji + covered
+        regs[kd.acc_reg] = acc
+        return (
+            "ok", upd * uo + skip * so, upd * ug + skip * sg,
+            upd * ue + skip * se, covered,
+        )
+
+    # -- elementwise writes: map / fill / copy -------------------------------
+    if kind not in ("map", "fill", "copy"):
+        return _DECLINE
+    out = invs.get(kd.out_key)
+    if not (isinstance(out, RVector) and out.named <= 1):
+        return _DECLINE  # copy-on-write store: per-element reallocation
+    if out.kind == kd.store_kind:
+        widen = False
+    elif out.kind == Kind.DBL and kd.store_kind in (Kind.LGL, Kind.INT):
+        widen = True  # the executor's in-place widening store
+    else:
+        return _DECLINE
+    stop = min(stop, len(out.data))
+    if stop <= ji:
+        return _DECLINE
+    # runtime aliasing: never bulk-write a vector any element read sees
+    if out is seq:
+        return _DECLINE
+    for key in kd.elem_keys:
+        if invs[key] is out:
+            return _DECLINE
+
+    spec = kd.val_spec
+    tag = spec[0]
+    dst = out.data
+    if tag == "reg":  # fill with a loop-invariant scalar
+        x = regs[spec[1]]
+        val_of = lambda jd: x  # noqa: E731
+    elif tag == "elem":  # copy
+        src = invs[spec[1]].data
+        val_of = lambda jd: src[jd]  # noqa: E731
+    else:  # ("map", op, elem_first, operand_reg)
+        if len(kd.elem_keys) != 1:
+            return _DECLINE
+        src = invs[kd.elem_keys[0]].data
+        opn = regs[spec[3]]
+        if isinstance(opn, bool) or not isinstance(opn, (int, float, complex)):
+            return _DECLINE
+        op, elem_first = spec[1], spec[2]
+        if op == "+":
+            val_of = (lambda jd: src[jd] + opn) if elem_first else (lambda jd: opn + src[jd])
+        elif op == "-":
+            val_of = (lambda jd: src[jd] - opn) if elem_first else (lambda jd: opn - src[jd])
+        elif op == "*":
+            val_of = (lambda jd: src[jd] * opn) if elem_first else (lambda jd: opn * src[jd])
+        elif op == "/":
+            val_of = (lambda jd: _pdiv(src[jd], opn)) if elem_first else (lambda jd: _pdiv(opn, src[jd]))
+        else:
+            return _DECLINE
+
+    if chaos is not None:
+        for jd in range(ji, stop):
+            for ev in events:
+                if chaos.random() < rate:
+                    x = val_of(jd)
+                    if ev.store_before:
+                        dst[jd] = float(x) if widen else x
+                    return _chaos_fire(kd, ev, regs, j0, ji, jd, None, invs, mapv=x)
+            x = val_of(jd)
+            dst[jd] = float(x) if widen else x
+    elif widen:
+        dst[ji:stop] = [float(val_of(jd)) for jd in range(ji, stop)]
+    elif tag == "elem":
+        dst[ji:stop] = src[ji:stop]
+    elif tag == "reg":
+        dst[ji:stop] = [x] * (stop - ji)
+    else:
+        dst[ji:stop] = [val_of(jd) for jd in range(ji, stop)]
+
+    covered = stop - ji
+    regs[kd.idx_reg] = j0 + covered
+    for r in kd.seqv_regs:
+        regs[r] = ji + covered
+    return ("ok", covered * io, covered * ig, covered * ie, covered)

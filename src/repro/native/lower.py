@@ -28,6 +28,51 @@ class LoweringError(Exception):
     pass
 
 
+#: kernel opcode per LoopPlan kind
+_KERNEL_OPCODE = {
+    "sum": N.VSUM, "prod": N.VSUM, "gsum": N.VSUM,
+    "map": N.VMAP_ARITH, "cmp": N.VCMP_REDUCE,
+    "fill": N.VFILL, "copy": N.VCOPYN,
+}
+
+#: generic (boxed) opcodes — charged to native_generic_ops by the executors
+_GEN_CODES = frozenset((
+    N.GEN_ARITH, N.GEN_COMPARE, N.GEN_LOGIC, N.GEN_UNARY, N.GEN_COLON,
+    N.GEN_EX2, N.GEN_EX1, N.GEN_SET2, N.GEN_SET1, N.GEN_SEQLEN,
+))
+
+#: dst-writing opcodes a kernelized loop body may contain (anything else —
+#: calls, env stores, value deopts like PMODI — disables the kernel)
+_WALK_OK = frozenset((
+    N.PADD, N.PSUB, N.PMUL, N.PDIV, N.PPOW, N.PNEG, N.PNOT, N.PMODF,
+    N.PIDIVF, N.PLT, N.PLE, N.PGT, N.PGE, N.PEQ, N.PNE, N.MOVE, N.VLOAD,
+    N.VLEN, N.VSTORE, N.BOX, N.UNBOX, N.FORCE, N.ISTYPE, N.ISIDENT, N.AS_LGL,
+    N.LDVAR_FREE,
+)) | _GEN_CODES
+
+
+def _role_materializable(role: tuple) -> bool:
+    """Roles whose value at an arbitrary guard position is well-defined.
+    Post-update values (``acc_next``) and the compare-select condition are
+    only meaningful *after* the point where any guard can sit."""
+    tag = role[0]
+    if tag in ("acc_next", "cmp"):
+        return False
+    if tag == "box":
+        return _role_materializable(role[1])
+    return True
+
+
+def _role_needs_def(role: tuple) -> bool:
+    """Roles computed by the loop body (rather than held in header phis or
+    entry-written invariant registers) — a guard's descriptor may only
+    reference them if the defining op precedes the guard in the iteration."""
+    tag = role[0]
+    if tag == "box":
+        return _role_needs_def(role[1])
+    return tag in ("idx1", "seq", "elem", "ex2", "acc_raw", "mapval")
+
+
 class DeoptDescr:
     """Everything the executor needs to build a runtime FrameState."""
 
@@ -46,6 +91,82 @@ class DeoptDescr:
         self.expected = expected
 
 
+class KernelGuard:
+    """One guard of the scalar loop body, as seen from inside a bulk kernel.
+
+    ``template`` rebuilds the loop-defined registers the guard's DeoptDescr
+    reads for an arbitrary element index; ``guard_role`` identifies the
+    guarded value (an invariant chain or the accumulator) so the chaos exit
+    can report the same ``observed`` type the scalar guard would;
+    ``store_before`` is set when the loop's VecStore precedes the guard, so
+    the partial iteration's store must be applied before materializing.
+    """
+
+    __slots__ = ("did", "guard_role", "template", "store_before")
+
+    def __init__(self, did, guard_role, template, store_before):
+        self.did = did
+        self.guard_role = guard_role
+        self.template = template
+        self.store_before = store_before
+
+
+class KernelDescr:
+    """Runtime description of one bulk kernel op (see native/kernels.py).
+
+    Built by the lowerer from a :class:`~repro.opt.vectorize.LoopPlan` plus a
+    walk of the *emitted* scalar loop, so the per-iteration op/guard/generic
+    counts are exact by construction — a kernel covering ``k`` elements
+    charges exactly what the scalar loop would have charged for ``k``
+    iterations.  ``kind == "disabled"`` marks a kernel whose finalization
+    failed validation: the op stays in the stream but always declines.
+    """
+
+    __slots__ = (
+        "kind", "idx_reg", "bound_reg", "seq_reg", "seq_static", "seqv_regs",
+        "acc_reg", "acc_op",
+        "acc_kind", "acc_gtype", "chains", "elem_keys", "out_key",
+        "store_kind", "val_spec", "cmp_op", "cmp_elem_first",
+        "cmp_update_on_true", "iter_counts", "upd_counts", "skip_counts",
+        "events",
+    )
+
+    def __init__(self, kind):
+        self.kind = kind
+        self.idx_reg = None
+        self.bound_reg = None
+        self.seq_reg = None
+        #: False when the iteration-space vector is opaque loop state (the
+        #: OSR-entry shape): the kernel verifies the 1..n content at runtime
+        self.seq_static = True
+        #: registers of header phis carrying the loop variable's value
+        #: (entry-checked == j, advanced with the induction register)
+        self.seqv_regs = ()
+        self.acc_reg = None
+        self.acc_op = None
+        self.acc_kind = None
+        self.acc_gtype = None
+        #: [(key, source, gtype, member_regs, indexed)] — source is
+        #: ("env", name) or ("reg", reg); indexed marks element-wise reads
+        self.chains = ()
+        self.elem_keys = ()
+        self.out_key = None
+        self.store_kind = None
+        self.val_spec = None
+        self.cmp_op = None
+        self.cmp_elem_first = True
+        self.cmp_update_on_true = True
+        #: (ops, guards, generic_ops) charged per covered iteration
+        self.iter_counts = (0, 0, 0)
+        self.upd_counts = (0, 0, 0)
+        self.skip_counts = (0, 0, 0)
+        #: KernelGuard list in execution order (the chaos draw sequence)
+        self.events = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<KernelDescr %s iter=%r>" % (self.kind, self.iter_counts)
+
+
 class NativeCode:
     """A lowered compilation unit, executable by the register machine."""
 
@@ -55,6 +176,8 @@ class NativeCode:
         self.n_regs = 0
         self.reg_init: List[Any] = []
         self.deopts: List[DeoptDescr] = []
+        #: bulk-kernel descriptors, indexed by the kernel ops' operand
+        self.kernels: List[KernelDescr] = []
         self.param_regs: List[int] = []
         self.env_reg: Optional[int] = None
         self.env_elided = graph.env_elided
@@ -72,7 +195,13 @@ class NativeCode:
 
     @property
     def size(self) -> int:
-        return len(self.ops)
+        # kernel ops are excluded: they have no counterpart in a scalar
+        # compile of the same graph, and compiled_instrs/code_size are part
+        # of the engine-independent dispatch signature
+        n = len(self.ops)
+        if self.kernels:
+            n -= sum(1 for op in self.ops if op[0] in N.KERNEL_OPS)
+        return n
 
     def __repr__(self) -> str:  # pragma: no cover
         return "<NativeCode %s: %d ops, %d regs>" % (self.name, len(self.ops), self.n_regs)
@@ -88,6 +217,16 @@ class Lowerer:
         self.block_start: Dict[int, int] = {}
         self.fixups: List[Tuple[int, int, Any]] = []  # (op_index, operand_pos, block)
         self.order = graph.rpo()
+        #: header block id -> LoopPlan for loops the vectorizer kernelized
+        self.kernel_plans: Dict[int, Any] = {}
+        #: header block id -> block ids whose edges into the header are
+        #: backedges (they must re-enter at the scalar loop, not the kernel)
+        self.loop_pred_ids: Dict[int, set] = {}
+        for plan in getattr(graph, "vector_loops", ()):
+            self.kernel_plans[plan.header.id] = plan
+            self.loop_pred_ids[plan.header.id] = {bb.id for bb in plan.body_blocks}
+        #: (kernel op index, plan) in emission order
+        self.kernel_sites: List[Tuple[int, Any]] = []
 
     # -- registers -----------------------------------------------------------------
 
@@ -149,10 +288,19 @@ class Lowerer:
         pending_edges: List[Tuple[Any, Any, int]] = []  # (pred_bb, succ_bb, jump_op_index/branch pos)
         for bb in self.order:
             self.block_start[bb.id] = len(self.nc.ops)
+            plan = self.kernel_plans.get(bb.id)
+            if plan is not None:
+                # the kernel op sits at the loop header, in front of the
+                # retained scalar loop; entry edges hit it once, backedges
+                # re-enter one op later (see _patch_branches)
+                self.kernel_sites.append((len(self.nc.ops), plan))
+                self.emit(_KERNEL_OPCODE[plan.kind], len(self.kernel_sites) - 1)
             for ins in bb.instrs:
                 self._lower_instr(ins, fused)
         # synthesize move-blocks for critical edges and patch targets
         self._patch_branches()
+        # with final op indices known, build the kernel descriptors
+        self._finalize_kernels()
 
         # initial register image: None except constants
         init = [None] * self.nc.n_regs
@@ -221,7 +369,12 @@ class Lowerer:
         for idx, op in enumerate(self.nc.ops):
             if op[0] == N.JMP and isinstance(op[1], _BlockRef):
                 # moves were already emitted inline before the JMP
-                self.nc.ops[idx] = (N.JMP, self.block_start[op[1].bb.id])
+                ref = op[1]
+                tgt = self.block_start[ref.bb.id]
+                in_loop = self.loop_pred_ids.get(ref.bb.id)
+                if in_loop is not None and ref.pred.id in in_loop:
+                    tgt += 1  # backedge: skip the kernel op at the header
+                self.nc.ops[idx] = (N.JMP, tgt)
             elif op[0] == N.BRT and (isinstance(op[2], _BlockRef) or isinstance(op[3], _BlockRef)):
                 t_ref, f_ref = op[2], op[3]
                 t_idx = self._edge_target(t_ref, extra_blocks)
@@ -242,6 +395,246 @@ class Lowerer:
         self.emit(N.JMP, self.block_start[succ.id])
         extra_blocks.append((start, moves, succ))
         return start
+
+    # -- bulk kernel finalization ---------------------------------------------------------------
+
+    def _finalize_kernels(self) -> None:
+        from ..osr.framestate import KernelFrameTemplate
+
+        for hs, plan in self.kernel_sites:
+            kd = self._build_kernel(hs, plan, KernelFrameTemplate)
+            if kd is None:
+                kd = KernelDescr("disabled")
+            self.nc.kernels.append(kd)
+
+    def _build_kernel(self, hs: int, plan, KernelFrameTemplate) -> Optional[KernelDescr]:
+        """Turn a LoopPlan into a runtime KernelDescr by walking the emitted
+        scalar loop once.  The walk yields the exact per-iteration op/guard/
+        generic-op counts the scalar engines would charge, the guard events
+        in execution order (the chaos RNG draw sequence), and — per guard —
+        the loop-defined registers its deopt descriptor reads, validated
+        against the symbolic roles the vectorizer assigned.  Any mismatch
+        disables the kernel (returns None); the retained scalar loop then
+        runs unchanged."""
+        nc = self.nc
+        role_of_reg: Dict[int, tuple] = {}
+        for iid, role in plan.roles.items():
+            r = self.reg_of.get(iid)
+            if r is not None:
+                role_of_reg[r] = role
+        phi_regs = {
+            self.reg_of[id(p)] for p in plan.header.phis() if id(p) in self.reg_of
+        }
+
+        walk = self._walk_loop(hs, plan)
+        if walk is None:
+            return None
+        iter_counts, raw_events, fork, written_all = walk
+
+        kd = KernelDescr(plan.kind)
+        kd.idx_reg = self.reg_of.get(id(plan.idx_phi))
+        kd.bound_reg = self.reg_of.get(id(plan.bound))
+        kd.seq_reg = self.reg_of.get(id(plan.seq_load.args[0]))
+        if kd.idx_reg is None or kd.bound_reg is None or kd.seq_reg is None:
+            return None
+        kd.seq_static = plan.seq_static
+        seqv = []
+        for phi in plan.seqv_phis:
+            r = self.reg_of.get(id(phi))
+            if r is None:
+                return None
+            seqv.append(r)
+        kd.seqv_regs = tuple(seqv)
+        if plan.acc_phi is not None:
+            kd.acc_reg = self.reg_of.get(id(plan.acc_phi))
+            if kd.acc_reg is None:
+                return None
+        kd.acc_op = plan.acc_op
+        kd.acc_kind = plan.acc_kind
+        kd.acc_gtype = plan.acc_gtype
+        kd.elem_keys = tuple(plan.elem_keys)
+        kd.out_key = plan.out_key
+        kd.store_kind = plan.store_kind
+        kd.iter_counts = iter_counts if iter_counts is not None else (0, 0, 0)
+
+        # invariant chains
+        chains = []
+        for ch in plan.invs:
+            if ch.root[0] == "env":
+                source = ("env", ch.root[1])
+            else:
+                r = self.reg_of.get(id(ch.root[1]))
+                if r is None:
+                    return None
+                source = ("reg", r)
+            member_regs = tuple(
+                r for r in (self.reg_of.get(id(m)) for m in ch.members) if r is not None
+            )
+            chains.append((ch.key, source, ch.gtype, member_regs, ch.key in plan.elem_keys))
+        kd.chains = tuple(chains)
+
+        # store value (map/fill/copy)
+        if plan.val_spec is not None:
+            tag = plan.val_spec[0]
+            if tag == "const":
+                r = self.reg_of.get(id(plan.val_spec[1]))
+                if r is None:
+                    return None
+                kd.val_spec = ("reg", r)
+            elif tag == "elem":
+                kd.val_spec = plan.val_spec
+            else:  # ("map", op, elem_first, operand_ir)
+                r = self.reg_of.get(id(plan.val_spec[3]))
+                if r is None:
+                    return None
+                kd.val_spec = ("map", plan.val_spec[1], plan.val_spec[2], r)
+
+        # compare-select arms
+        if plan.kind == "cmp":
+            if fork is None:
+                return None
+            t_idx, f_idx, t_counts, f_counts = fork
+            upd_start = self.block_start.get(plan.cmp_update_block.id)
+            if t_counts is None or f_counts is None or upd_start is None:
+                return None
+            if t_idx == upd_start:
+                kd.cmp_update_on_true = True
+                kd.upd_counts, kd.skip_counts = t_counts, f_counts
+            elif f_idx == upd_start:
+                kd.cmp_update_on_true = False
+                kd.upd_counts, kd.skip_counts = f_counts, t_counts
+            else:
+                return None
+            kd.cmp_op = plan.cmp_op
+            kd.cmp_elem_first = plan.cmp_elem_first
+            if raw_events:
+                return None  # chaos draws inside a fork cannot be scheduled
+        elif fork is not None or iter_counts is None:
+            return None
+
+        # guard events: deopt descriptor registers -> iteration-indexed roles
+        events = []
+        for op, counts_incl, written_before, store_before in raw_events:
+            did = op[3]
+            grole = role_of_reg.get(op[1])
+            if grole is None or grole[0] not in ("inv", "acc"):
+                return None
+            descr = nc.deopts[did]
+            refs = {r for _n, r, _k in descr.env_slots}
+            refs.update(r for r, _k in descr.stack)
+            if descr.env_reg is not None:
+                refs.add(descr.env_reg)
+            slots = []
+            for r in sorted(refs):
+                role = role_of_reg.get(r)
+                if role is None:
+                    if r in written_all:
+                        return None  # loop-defined register without a role
+                    continue  # invariant: already holds the right value
+                if not _role_materializable(role):
+                    return None
+                if _role_needs_def(role) and r not in written_before and r not in phi_regs:
+                    return None
+                slots.append((r, role))
+            tmpl = KernelFrameTemplate(slots, counts_incl[0], counts_incl[1], counts_incl[2])
+            events.append(KernelGuard(did, grole, tmpl, store_before))
+        kd.events = tuple(events)
+
+        # per-kind completeness
+        if kd.kind in ("sum", "prod"):
+            if kd.acc_reg is None or kd.acc_kind is None or not kd.elem_keys:
+                return None
+        elif kd.kind == "gsum":
+            if kd.acc_reg is None or kd.acc_gtype is None or not kd.elem_keys:
+                return None
+        elif kd.kind in ("map", "fill", "copy"):
+            if kd.out_key is None or kd.val_spec is None or kd.store_kind is None:
+                return None
+        elif kd.kind == "cmp":
+            if kd.acc_reg is None or kd.cmp_op is None:
+                return None
+        else:
+            return None
+        return kd
+
+    def _walk_loop(self, hs: int, plan):
+        """Walk one iteration of the emitted scalar loop starting at the
+        header's first scalar op (``hs + 1``) until the backedge returns
+        there.  Returns ``(iter_counts, events, fork, written)`` or None when
+        the stream contains anything the kernel cannot model."""
+        ops = self.nc.ops
+        counts = [0, 0, 0]  # ops, guards, generic ops
+        events: List[tuple] = []
+        written: set = set()
+        store_seen = False
+        fork = None
+        idx = hs + 1
+        steps = 0
+        while True:
+            steps += 1
+            if steps > 300:
+                return None
+            op = ops[idx]
+            code = op[0]
+            counts[0] += 1
+            if code == N.JMP:
+                if op[1] == hs + 1:
+                    break  # backedge: one full iteration walked
+                idx = op[1]
+                continue
+            if code == N.BRT:
+                if idx == hs + 2:
+                    # the loop's own exit check: follow the body edge
+                    idx = op[2] if plan.body_on_true else op[3]
+                    continue
+                # the compare-select diamond: walk each arm to the backedge
+                t = self._walk_arm(hs, op[2], counts, written)
+                f = self._walk_arm(hs, op[3], counts, written)
+                if t is None or f is None:
+                    return None
+                fork = (op[2], op[3], t, f)
+                return None if events else (None, events, fork, frozenset(written))
+            if code == N.GTYPE:
+                counts[1] += 1
+                events.append((op, tuple(counts), frozenset(written), store_seen))
+                idx += 1
+                continue
+            if code in _GEN_CODES:
+                counts[2] += 1
+            elif code == N.VSTORE:
+                store_seen = True
+            elif code not in _WALK_OK:
+                return None
+            written.add(op[1])
+            idx += 1
+        return tuple(counts), events, None, frozenset(written)
+
+    def _walk_arm(self, hs: int, idx: int, base_counts, written):
+        """Walk one diamond arm to the backedge; guards and nested control
+        flow are not allowed inside arms."""
+        ops = self.nc.ops
+        counts = list(base_counts)
+        steps = 0
+        while True:
+            steps += 1
+            if steps > 100:
+                return None
+            op = ops[idx]
+            code = op[0]
+            counts[0] += 1
+            if code == N.JMP:
+                if op[1] == hs + 1:
+                    return tuple(counts)
+                idx = op[1]
+                continue
+            if code in (N.BRT, N.GTYPE):
+                return None
+            if code in _GEN_CODES:
+                counts[2] += 1
+            elif code not in _WALK_OK:
+                return None
+            written.add(op[1])
+            idx += 1
 
     # -- instruction lowering ------------------------------------------------------------------
 

@@ -72,11 +72,64 @@ VLOAD_PADD = 62    # (op, vdst, vec, idx, deopt_id, adst, aa, ab)
 BOX_RET = 63       # (op, dst, src, kind)
 FUSED_GAP = 64     # placeholder at the consumed slot; never executed
 
+# bulk vector kernels (opt/vectorize.py).  One dispatch covers a whole
+# counted loop over the raw unboxed buffer; the single operand indexes the
+# KernelDescr on the NativeCode.  The kernel op itself is *not* accounted as
+# an executed op (it does not exist in scalar executions); instead the kernel
+# charges the per-iteration op/guard/generic counts of the scalar loop it
+# replaces, per covered element, so telemetry is engine-independent.
+VSUM = 65          # (op, kernel_idx)  reduction: + or * over an unboxed buffer
+VMAP_ARITH = 66    # (op, kernel_idx)  elementwise map: out[i] = x[i] <op> const
+VCMP_REDUCE = 67   # (op, kernel_idx)  compare-select reduction (min/max)
+VFILL = 68         # (op, kernel_idx)  out[i] = const
+VCOPYN = 69        # (op, kernel_idx)  out[i] = src[i]
+
+KERNEL_OPS = frozenset((VSUM, VMAP_ARITH, VCMP_REDUCE, VFILL, VCOPYN))
+
 NAMES = {v: k for k, v in list(globals().items()) if isinstance(v, int) and not k.startswith("_")}
 
 
-def disassemble(ncode) -> str:  # pragma: no cover - debugging aid
+#: operand field names for the superinstruction tuples; an entry of the form
+#: ``"op:<name>"`` marks a field holding an opcode number (rendered by name)
+#: and ``"@<name>"`` marks a branch-target index.
+_OPERAND_NAMES = {
+    GTYPE_UNBOX: ("guard", "type", "deopt", "dst", "src"),
+    CMP_BRT: ("op:cmp", "dst", "a", "b", "@true", "@false"),
+    VLOAD_PADD: ("vdst", "vec", "idx", "deopt", "adst", "aa", "ab"),
+    BOX_RET: ("dst", "src", "kind"),
+    VSUM: ("kernel",),
+    VMAP_ARITH: ("kernel",),
+    VCMP_REDUCE: ("kernel",),
+    VFILL: ("kernel",),
+    VCOPYN: ("kernel",),
+}
+
+
+def _render_operand(name, value):
+    if name.startswith("op:"):
+        return "%s=%s" % (name[3:], NAMES.get(value, value))
+    if name.startswith("@"):
+        return "%s=@%s" % (name[1:], value)
+    return "%s=%r" % (name, value)
+
+
+def disassemble(ncode) -> str:
+    """Human-readable op stream; works on both the canonical and the fused
+    stream.  Superinstruction operand tuples are rendered symbolically
+    (field names, opcode operands by name) and ``FUSED_GAP`` placeholders are
+    elided — the printed indices are the original stream positions, so the
+    disassembly still resolves branch targets of the fused stream.
+    """
+    ops = getattr(ncode, "ops", ncode)
     lines = []
-    for i, op in enumerate(ncode.ops):
-        lines.append("%4d  %-10s %s" % (i, NAMES.get(op[0], "?"), " ".join(repr(x) for x in op[1:])))
+    for i, op in enumerate(ops):
+        code = op[0]
+        if code == FUSED_GAP:
+            continue  # consumed by the superinstruction one slot earlier
+        fields = _OPERAND_NAMES.get(code)
+        if fields is not None:
+            body = " ".join(_render_operand(n, v) for n, v in zip(fields, op[1:]))
+        else:
+            body = " ".join(repr(x) for x in op[1:])
+        lines.append("%4d  %-12s %s" % (i, NAMES.get(code, "?"), body))
     return "\n".join(lines)

@@ -911,6 +911,33 @@ def _f_gap(ins, idx, ops):  # pragma: no cover - unreachable by construction
     return h
 
 
+def _f_kernel(ins, idx, ops):
+    """Bulk vector kernel (opt/vectorize.py): covers k scalar loop iterations
+    in one dispatch, or declines with zero effect and falls through to the
+    retained scalar loop.  The op is not an instruction of the scalar
+    program, so it contributes nothing to ``nexec`` itself — only the exact
+    per-iteration deltas computed by the kernel."""
+    kidx = ins[1]
+    nxt = idx + 1
+
+    def h(f):
+        res = _kernels.run_kernel(f.ncode.kernels[kidx], f.regs, f.vm, f.closure_env)
+        tag = res[0]
+        if tag == "ok":
+            f.nexec += res[1]
+            f.nguards += res[2]
+            f.ngen += res[3]
+            f.state.kernel_elements += res[4]
+        elif tag == "deopt":
+            f.nexec += res[4]
+            f.nguards += res[5]
+            f.ngen += res[6]
+            f.state.kernel_elements += res[7]
+            return _deopt(f, res[1], observed=res[2], kind_override=res[3])
+        return nxt
+    return h
+
+
 _FACTORIES = {
     N.PADD: _f_padd, N.PSUB: _f_psub, N.PMUL: _f_pmul, N.PDIV: _f_pdiv,
     N.PPOW: _f_ppow, N.PNEG: _f_pneg, N.PNOT: _f_pnot,
@@ -935,6 +962,8 @@ _FACTORIES = {
     N.GTYPE_UNBOX: _f_gtype_unbox, N.CMP_BRT: _f_cmp_brt,
     N.VLOAD_PADD: _f_vload_padd, N.BOX_RET: _f_box_ret,
     N.FUSED_GAP: _f_gap,
+    N.VSUM: _f_kernel, N.VMAP_ARITH: _f_kernel, N.VCMP_REDUCE: _f_kernel,
+    N.VFILL: _f_kernel, N.VCOPYN: _f_kernel,
 }
 
 
@@ -985,3 +1014,5 @@ _f_gen_set2 = _gen_triple(_set2)
 _f_gen_set1 = _gen_triple(coerce.assign1)
 _FACTORIES[N.GEN_SET2] = _f_gen_set2
 _FACTORIES[N.GEN_SET1] = _f_gen_set1
+
+from . import kernels as _kernels  # noqa: E402

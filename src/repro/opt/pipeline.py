@@ -14,6 +14,7 @@ from ..ir.verifier import verify
 from .dce import dce
 from .dse import dse
 from .simplify import simplify
+from .vectorize import vectorize_loops
 
 
 def optimize(graph: Graph, config=None) -> Graph:
@@ -26,6 +27,9 @@ def optimize(graph: Graph, config=None) -> Graph:
     dce(graph)
     simplify(graph)
     dce(graph)
+    # runs last: the pass only *annotates* (graph.vector_loops); it must see
+    # the final cleaned shape the lowerer will consume
+    vectorize_loops(graph, config)
     if check:
         verify(graph)
     return graph

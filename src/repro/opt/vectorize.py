@@ -1,0 +1,621 @@
+"""Guard-hoisted loop vectorization (annotation pass).
+
+Recognizes speculatively-typed *counted loops over vectors* in the optimized
+IR — the canonical shape the builder produces for ``for (i in 1:n)`` — and
+annotates the graph with a :class:`LoopPlan` per vectorizable loop.  The
+lowerer (``native/lower.py``) turns each plan into one **bulk kernel op**
+(``VSUM``/``VMAP_ARITH``/``VCMP_REDUCE``/``VFILL``/``VCOPYN``) placed at the
+loop header, with the scalar loop retained as the fall-through: the kernel
+verifies the hoisted whole-vector conditions once at entry (the per-element
+``Assume``/``GTYPE`` guards of the body, plus bounds/aliasing/NA ranges) and
+then runs the remaining elements over the raw unboxed buffer in one
+dispatch.  Anything the kernel cannot prove — a promise in the way, a type
+mismatch, an ``NA`` at element *k*, a chaos-mode invalidation — ends bulk
+execution at an exact element boundary (or materializes the mid-iteration
+registers through a ``KernelFrameTemplate``) and control falls back into
+the unmodified scalar loop, which reproduces the reference execution —
+including its deopts — from that element on.
+
+The pass only *annotates*: the IR is never rewritten, so a rejected loop is
+bit-identical to the unvectorized compile (the legality tests assert this),
+and scalar engines (``Config.vectorize = False``) simply never consult the
+plans.
+
+Legality (beyond the structural match):
+
+* no calls, closure/promise creation, environment stores, or nested loops
+  in the body;
+* the only cross-iteration dependence is the single recognized reduction
+  (``+``/``*`` accumulate, compare-select min/max, or the generic boxed
+  ``+`` of the colsum shape);
+* every vector read is through a loop-invariant chain, the iteration space
+  is a verified identity ``1:n`` colon, and the written vector (if any) is
+  distinct from every read vector (runtime identity is re-checked at kernel
+  entry);
+* every loop-defined value that a deopt FrameState can reference maps to a
+  symbolic role (``osr/framestate.py:eval_kernel_role``) so mid-kernel
+  deopts can reconstruct the interpreter state at any element.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..ir import instructions as I
+from ..ir.cfg import BasicBlock, Graph
+
+#: arithmetic ops a VMAP_ARITH kernel can replicate exactly
+_MAP_OPS = ("+", "-", "*", "/")
+#: compare ops a VCMP_REDUCE kernel supports
+_CMP_OPS = ("<", "<=", ">", ">=")
+
+
+class InvChain:
+    """A loop-invariant value chain (env load / forced phi / outside value).
+
+    ``root`` is ``("env", name)`` for a free-variable load re-executed every
+    iteration, ``("phi", phi)`` for an invariant-valued header phi (the
+    in-place output vector of a map/fill/copy), or ``("value", ir_value)``
+    for a value defined outside the loop.  ``gtype`` is the hoisted
+    per-iteration type guard, when the chain carries one.  ``members`` are
+    the in-loop instructions whose registers hold this value (written once
+    at kernel entry).  ``guard_assume`` is the Assume of the hoisted guard
+    (its deopt descriptor doubles as the chaos exit for this chain).
+    """
+
+    __slots__ = ("key", "root", "gtype", "members", "guard_assume")
+
+    def __init__(self, key: int, root: Tuple[str, Any]):
+        self.key = key
+        self.root = root
+        self.gtype = None
+        self.members: List[I.Instr] = []
+        self.guard_assume: Optional[I.Assume] = None
+
+
+class LoopPlan:
+    """Everything the lowerer needs to kernelize one recognized loop."""
+
+    __slots__ = (
+        "kind", "header", "body_blocks", "latch", "exit_block", "body_on_true",
+        "idx_phi", "bound", "idx_inc", "seq_load", "seq_static", "seqv_phis",
+        "acc_phi", "acc_kind",
+        "acc_gtype", "acc_op", "invs", "roles", "elem_keys",
+        "store", "out_key", "store_kind", "val_spec",
+        "cmp_op", "cmp_elem_first", "cmp_update_block", "sel_phi",
+    )
+
+    def __init__(self):
+        self.kind = None                 # 'sum' | 'prod' | 'gsum' | 'map' | 'fill' | 'copy' | 'cmp'
+        self.header = None
+        self.body_blocks: List[BasicBlock] = []
+        self.latch = None
+        self.exit_block = None
+        self.body_on_true = True
+        self.idx_phi = None
+        self.bound = None
+        self.idx_inc = None
+        self.seq_load = None
+        self.seq_static = True   # identity colon proven statically
+        self.seqv_phis: List[I.Phi] = []   # phis carrying the loop variable
+        self.acc_phi = None
+        self.acc_kind = None             # Kind of the raw accumulator (sum/prod/cmp)
+        self.acc_gtype = None            # per-iteration guard type on the boxed acc (gsum)
+        self.acc_op = None               # '+' or '*'
+        self.invs: List[InvChain] = []
+        self.roles: Dict[int, tuple] = {}
+        self.elem_keys: List[int] = []   # inv keys of vectors read element-wise
+        self.store = None
+        self.out_key = None
+        self.store_kind = None
+        self.val_spec = None             # ('const', ir) | ('elem', key) | ('map', op, elem_first, operand_ir)
+        self.cmp_op = None
+        self.cmp_elem_first = True
+        self.cmp_update_block = None
+        self.sel_phi = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<LoopPlan %s header=BB%d>" % (self.kind, self.header.id if self.header else -1)
+
+
+def vectorize_loops(graph: Graph, config=None) -> List[LoopPlan]:
+    """Annotate ``graph.vector_loops``; returns the plans for convenience."""
+    plans: List[LoopPlan] = []
+    graph.vector_loops = plans
+    if config is not None and not getattr(config, "vectorize", True):
+        return plans
+    if not graph.env_elided:
+        # an escaping environment can be mutated behind the kernel's back
+        return plans
+    uses = graph.compute_uses()
+    for bb in graph.rpo():
+        plan = _match_loop(graph, bb, uses)
+        if plan is not None:
+            plans.append(plan)
+    return plans
+
+
+# ---------------------------------------------------------------------------
+# structural matching
+# ---------------------------------------------------------------------------
+
+def _match_loop(graph: Graph, header: BasicBlock, uses) -> Optional[LoopPlan]:
+    term = header.terminator
+    if not isinstance(term, I.Branch):
+        return None
+    cond = term.args[0]
+    if not (isinstance(cond, I.PrimCompare) and cond.op == "<" and cond.block is header):
+        return None
+    idx_phi, bound = cond.args[0], cond.args[1]
+    if not (isinstance(idx_phi, I.Phi) and idx_phi.block is header):
+        return None
+    # the header must be exactly phis + compare + branch (the lowerer's
+    # kernel placement assumes the scalar exit check starts at header+1)
+    for ins in header.instrs:
+        if isinstance(ins, I.Phi) or ins is cond or ins is term:
+            continue
+        return None
+
+    plan = LoopPlan()
+    plan.header = header
+    plan.idx_phi = idx_phi
+    plan.bound = bound
+    plan.body_on_true = True
+    body_entry, plan.exit_block = term.true_block, term.false_block
+
+    # collect the loop body: blocks reachable from the body entry without
+    # passing through the header again
+    body: List[BasicBlock] = []
+    seen = {header.id}
+    work = [body_entry]
+    while work:
+        bb = work.pop()
+        if bb.id in seen:
+            continue
+        seen.add(bb.id)
+        body.append(bb)
+        if len(body) > 4:  # nested control flow — not a simple counted loop
+            return None
+        for s in bb.successors():
+            if s is not header:
+                work.append(s)
+    body_ids = {bb.id for bb in body}
+    if plan.exit_block.id in body_ids:
+        return None
+    # single latch; no side entries into the body
+    latches = [p for p in header.preds if p.id in body_ids]
+    if len(latches) != 1 or len(header.preds) != 2:
+        return None
+    plan.latch = latches[0]
+    if not isinstance(plan.latch.terminator, I.Jump):
+        return None
+    for bb in body:
+        for p in bb.preds:
+            if p.id not in body_ids and not (bb is body_entry and p is header):
+                return None
+    plan.body_blocks = [bb for bb in graph.rpo() if bb.id in body_ids]
+
+    def in_loop(v: I.Instr) -> bool:
+        return v.block is not None and (v.block.id in body_ids or v.block is header)
+
+    if in_loop(bound) or isinstance(bound, I.Phi) and bound.block is header:
+        return None
+
+    # induction: idx_phi's backedge input is idx + 1
+    back = _phi_input(idx_phi, plan.latch)
+    if not (
+        isinstance(back, I.PrimArith) and back.op == "+" and back.block.id in body_ids
+        and back.args[0] is idx_phi and isinstance(back.args[1], I.Const)
+        and back.args[1].value == 1
+    ):
+        return None
+    plan.idx_inc = back
+
+    # iteration space: a VecLoad of an identity 1:n colon at idx+1.  OSR-entry
+    # graphs carry the sequence in as opaque loop state (a Param) — accept any
+    # loop-invariant base and let the kernel verify the 1..n content at
+    # runtime (it declines on anything else, leaving the scalar loop to run).
+    seq_load = None
+    fallback = None
+    for bb in plan.body_blocks:
+        for ins in bb.instrs:
+            if isinstance(ins, I.VecLoad) and ins.args[1] is plan.idx_inc and not in_loop(ins.args[0]):
+                if _is_identity_colon(ins.args[0], in_loop):
+                    seq_load = ins
+                    break
+                if fallback is None:
+                    fallback = ins
+        if seq_load is not None:
+            break
+    if seq_load is None and fallback is not None:
+        seq_load = fallback
+        plan.seq_static = False
+    if seq_load is None:
+        return None
+    plan.seq_load = seq_load
+
+    if not _assign_roles(graph, plan, uses, in_loop):
+        return None
+    return plan
+
+
+def _phi_input(phi: I.Phi, pred: BasicBlock):
+    for blk, val in phi.inputs:
+        if blk is pred:
+            return val
+    return None
+
+
+def _is_identity_colon(v: I.Instr, in_loop) -> bool:
+    """``CastType(Force(Colon(1, n)))`` outside the loop: elements are the
+    ints ``1..n`` — no NAs and no gather needed for bulk access."""
+    while isinstance(v, (I.CastType, I.Force)):
+        if in_loop(v):
+            return False
+        v = v.args[0]
+    if not (isinstance(v, I.Colon) and not in_loop(v)):
+        return False
+    start = v.args[0]
+    if not isinstance(start, I.Const):
+        return False
+    val = getattr(start, "value", None)
+    if hasattr(val, "data") and hasattr(val, "kind"):  # boxed scalar const
+        val = val.data[0] if len(val.data) == 1 else None
+    return not isinstance(val, bool) and val in (1, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# role assignment + kernel classification
+# ---------------------------------------------------------------------------
+
+def _assign_roles(graph: Graph, plan: LoopPlan, uses, in_loop) -> bool:
+    roles = plan.roles
+    roles[id(plan.idx_phi)] = ("idx",)
+    roles[id(plan.idx_inc)] = ("idx1",)
+    roles[id(plan.seq_load)] = ("seq",)
+
+    invs: List[InvChain] = plan.invs
+    inv_by_root: Dict[Any, InvChain] = {}
+
+    def new_chain(root) -> InvChain:
+        ch = inv_by_root.get(root if root[0] != "value" else ("value", id(root[1])))
+        if ch is not None:
+            return ch
+        ch = InvChain(len(invs), root)
+        invs.append(ch)
+        inv_by_root[root if root[0] != "value" else ("value", id(root[1]))] = ch
+        return ch
+
+    def chain_of(v: I.Instr) -> Optional[InvChain]:
+        r = roles.get(id(v))
+        if r is not None and r[0] == "inv":
+            return invs[r[1]]
+        if not in_loop(v):
+            return new_chain(("value", v))
+        return None
+
+    # -- header phis: the accumulator and invariant-valued vector phis -------
+    acc_candidates: List[I.Phi] = []
+    for phi in plan.header.phis():
+        if phi is plan.idx_phi:
+            continue
+        back = _phi_input(phi, plan.latch)
+        if back is plan.seq_load:
+            # the loop variable itself, carried across the backedge (the
+            # OSR-entry shape): at the head of iteration j it holds
+            # seq[j] == j — the kernel entry-checks that and advances the
+            # register together with the induction variable
+            roles[id(phi)] = ("idx",)
+            plan.seqv_phis.append(phi)
+            continue
+        if _chases_to_phi(back, phi):
+            ch = new_chain(("phi", phi))
+            ch.members.append(phi)
+            roles[id(phi)] = ("inv", ch.key)
+        else:
+            acc_candidates.append(phi)
+    if len(acc_candidates) > 1:
+        return False
+    acc_phi = acc_candidates[0] if acc_candidates else None
+    if acc_phi is not None:
+        roles[id(acc_phi)] = ("acc",)
+    plan.acc_phi = acc_phi
+
+    istype_guards: Dict[int, I.Instr] = {}   # id(IsType) -> guarded value
+    acc_update = None
+    cmp_ins = None
+    store = None
+    mapval = None
+
+    for bb in plan.body_blocks:
+        for ins in bb.instrs:
+            if ins is plan.idx_inc or ins is plan.seq_load:
+                continue
+            t = type(ins)
+            if t is I.Const:
+                continue
+            if t is I.Jump:
+                continue
+            if t is I.LdVarEnv:
+                if ins.args:  # env-chain load through a real environment
+                    return False
+                ch = new_chain(("env", ins.vname))
+                ch.members.append(ins)
+                roles[id(ins)] = ("inv", ch.key)
+                continue
+            if t is I.Force:
+                src = ins.args[0]
+                if src is acc_phi:
+                    roles[id(ins)] = ("acc",)
+                    continue
+                ch = chain_of(src)
+                if ch is None:
+                    return False
+                ch.members.append(ins)
+                roles[id(ins)] = ("inv", ch.key)
+                continue
+            if t is I.CastType:
+                src = ins.args[0]
+                r = roles.get(id(src))
+                if r is not None and r[0] == "acc":
+                    roles[id(ins)] = ("acc",)
+                    continue
+                ch = chain_of(src)
+                if ch is None:
+                    return False
+                ch.members.append(ins)
+                roles[id(ins)] = ("inv", ch.key)
+                continue
+            if t is I.IsType:
+                src = ins.args[0]
+                # must lower to a fused GTYPE: single use feeding one Assume
+                users = uses.get(ins, [])
+                if len(users) != 1 or not isinstance(users[0], I.Assume):
+                    return False
+                r = roles.get(id(src))
+                if r is not None and r[0] == "acc":
+                    if plan.acc_gtype is not None:
+                        return False
+                    plan.acc_gtype = ins.test_type
+                    istype_guards[id(ins)] = src
+                    continue
+                ch = chain_of(src)
+                if ch is None or (ch.gtype is not None and ch.gtype != ins.test_type):
+                    return False
+                ch.gtype = ins.test_type
+                istype_guards[id(ins)] = src
+                continue
+            if t is I.Assume:
+                cond = ins.args[0]
+                if id(cond) not in istype_guards:
+                    return False  # cold-branch / identity assumes: not modeled
+                src = istype_guards[id(cond)]
+                r = roles.get(id(src))
+                if r is not None and r[0] == "inv":
+                    invs[r[1]].guard_assume = ins
+                continue
+            if t is I.VecLoad:
+                if ins.args[1] is not plan.seq_load and ins.args[1] is not plan.idx_inc:
+                    return False
+                ch = chain_of(ins.args[0])
+                if ch is None:
+                    return False
+                key = ch.key
+                prev = roles.get(id(ins))
+                roles[id(ins)] = ("elem", key)
+                if key not in plan.elem_keys:
+                    plan.elem_keys.append(key)
+                continue
+            if t is I.Unbox:
+                r = roles.get(id(ins.args[0]))
+                if r != ("acc",):
+                    return False
+                roles[id(ins)] = ("acc_raw",)
+                continue
+            if t is I.Box:
+                r = roles.get(id(ins.args[0]))
+                if r is None:
+                    return False
+                roles[id(ins)] = ("box", r, ins.kind)
+                continue
+            if t is I.Extract2:
+                ch = chain_of(ins.args[0])
+                ridx = roles.get(id(ins.args[1]))
+                if ch is None or ridx is None or ridx[0] != "box" or ridx[1] not in (("seq",), ("idx1",)):
+                    return False
+                roles[id(ins)] = ("ex2", ch.key)
+                if ch.key not in plan.elem_keys:
+                    plan.elem_keys.append(ch.key)
+                continue
+            if t is I.Arith:
+                # the generic boxed accumulate of the colsum shape
+                ra = roles.get(id(ins.args[0]))
+                rb = roles.get(id(ins.args[1]))
+                pair = {None if ra is None else ra[0], None if rb is None else rb[0]}
+                if ins.op != "+" or acc_update is not None or pair != {"box", "ex2"}:
+                    return False
+                box_r = ra if ra[0] == "box" else rb
+                if box_r[1] != ("acc_raw",):
+                    return False
+                plan.kind = "gsum"
+                acc_update = ins
+                roles[id(ins)] = ("acc_next",)
+                continue
+            if t is I.PrimArith:
+                ra = roles.get(id(ins.args[0]))
+                rb = roles.get(id(ins.args[1]))
+                if acc_phi is not None and acc_update is None and (
+                    (ins.args[0] is acc_phi and rb is not None and rb[0] == "elem")
+                    or (ins.args[1] is acc_phi and ra is not None and ra[0] == "elem")
+                ) and ins.op in ("+", "*"):
+                    plan.kind = "sum" if ins.op == "+" else "prod"
+                    plan.acc_op = ins.op
+                    plan.acc_kind = ins.kind
+                    acc_update = ins
+                    roles[id(ins)] = ("acc_next",)
+                    continue
+                # elementwise map value: elem <op> invariant operand
+                if ins.op in _MAP_OPS and mapval is None:
+                    elem_first = ra is not None and ra[0] == "elem"
+                    other = ins.args[1] if elem_first else ins.args[0]
+                    this = ins.args[0] if elem_first else ins.args[1]
+                    rt = roles.get(id(this))
+                    if rt is not None and rt[0] == "elem" and (
+                        isinstance(other, I.Const) or not in_loop(other)
+                    ):
+                        mapval = (ins, ins.op, elem_first, other)
+                        roles[id(ins)] = ("mapval",)
+                        continue
+                return False
+            if t is I.PrimCompare:
+                ra = roles.get(id(ins.args[0]))
+                if cmp_ins is not None or acc_phi is None:
+                    return False
+                if ins.args[0] is not acc_phi and (ra is None or ra[0] != "elem"):
+                    return False
+                other = ins.args[1] if ins.args[0] is not acc_phi else ins.args[0]
+                rother = roles.get(id(other))
+                elem_first = ins.args[0] is not acc_phi
+                if elem_first and other is not acc_phi:
+                    return False
+                if not elem_first and (rother is None or rother[0] != "elem"):
+                    return False
+                if ins.op not in _CMP_OPS:
+                    return False
+                cmp_ins = ins
+                plan.cmp_op = ins.op
+                plan.cmp_elem_first = elem_first
+                plan.acc_kind = ins.kind
+                roles[id(ins)] = ("cmp",)
+                continue
+            if t is I.VecStore:
+                if store is not None or ins.args[1] is not plan.seq_load and ins.args[1] is not plan.idx_inc:
+                    return False
+                ch = chain_of(ins.args[0])
+                if ch is None or ch.root[0] != "phi":
+                    return False
+                vr = roles.get(id(ins.args[2]))
+                if isinstance(ins.args[2], I.Const):
+                    plan.val_spec = ("const", ins.args[2])
+                elif vr is not None and vr[0] == "elem":
+                    plan.val_spec = ("elem", vr[1])
+                elif vr == ("mapval",):
+                    plan.val_spec = ("map", mapval[1], mapval[2], mapval[3])
+                else:
+                    return False
+                store = ins
+                plan.out_key = ch.key
+                plan.store_kind = ins.kind
+                # the store's value *is* the out vector (in-place fast path,
+                # guaranteed by the kernel's entry checks)
+                roles[id(ins)] = ("inv", ch.key)
+                continue
+            if t is I.Branch:
+                if roles.get(id(ins.args[0])) != ("cmp",):
+                    return False
+                continue
+            if t is I.Phi:
+                # only the compare-select join phi is allowed inside the body
+                if cmp_ins is None or plan.sel_phi is not None or ins.block is not plan.latch:
+                    return False
+                plan.sel_phi = ins
+                roles[id(ins)] = ("acc_next",)
+                continue
+            return False
+
+    return _classify(graph, plan, uses, in_loop, acc_update, cmp_ins, store)
+
+
+def _chases_to_phi(v: I.Instr, phi: I.Phi) -> bool:
+    """Backedge value of an invariant phi: Force/CastType/in-place VecStore
+    chains terminating at the phi itself."""
+    seen = 0
+    while seen < 8:
+        if v is phi:
+            return True
+        if isinstance(v, (I.Force, I.CastType, I.VecStore)):
+            v = v.args[0]
+            seen += 1
+            continue
+        return False
+    return False
+
+
+def _classify(graph: Graph, plan: LoopPlan, uses, in_loop, acc_update, cmp_ins, store) -> bool:
+    header, latch = plan.header, plan.latch
+
+    if store is not None:
+        if acc_update is not None or cmp_ins is not None or plan.acc_phi is not None:
+            return False
+        plan.store = store
+        plan.kind = {"const": "fill", "elem": "copy", "map": "map"}[plan.val_spec[0]]
+        # never write a vector the loop also reads (runtime identity is
+        # additionally re-checked at kernel entry)
+        if plan.out_key in plan.elem_keys:
+            return False
+        out_root = plan.invs[plan.out_key].root
+        for k in plan.elem_keys:
+            if plan.invs[k].root == out_root:
+                return False
+    elif cmp_ins is not None:
+        if acc_update is not None or plan.sel_phi is None or plan.acc_phi is None:
+            return False
+        # arms: the update arm reloads the element, the other is empty
+        branch = cmp_ins.block.terminator
+        if not isinstance(branch, I.Branch) or branch.args[0] is not cmp_ins:
+            return False
+        sel_back = _phi_input(plan.acc_phi, latch)
+        if sel_back is not plan.sel_phi:
+            return False
+        update_block = None
+        for blk, val in plan.sel_phi.inputs:
+            r = plan.roles.get(id(val))
+            if r is not None and r[0] == "elem":
+                update_block = blk
+            elif val is not plan.acc_phi:
+                return False
+        if update_block is None:
+            return False
+        plan.cmp_update_block = update_block
+        plan.kind = "cmp"
+        # chaos draws inside a fork cannot be scheduled — require a guardless body
+        if any(ch.gtype is not None for ch in plan.invs) or plan.acc_gtype is not None:
+            return False
+    elif acc_update is not None:
+        if plan.acc_phi is None or _phi_input(plan.acc_phi, latch) is not acc_update:
+            return False
+        if plan.kind == "gsum":
+            if plan.acc_gtype is None or plan.acc_gtype.kind.name not in ("DBL", "INT"):
+                return False
+        elif plan.kind in ("sum", "prod"):
+            if plan.acc_gtype is not None:
+                return False
+        else:
+            return False
+    else:
+        return False
+
+    # no loop-defined value may be used outside the loop (the kernel only
+    # reconstructs registers that the retained scalar loop re-derives)
+    loop_blocks = {header.id} | {bb.id for bb in plan.body_blocks}
+    header_phis = set(id(p) for p in header.phis())
+    for bb in plan.body_blocks:
+        for ins in bb.instrs:
+            for user in uses.get(ins, []):
+                if user.block is not None and user.block.id not in loop_blocks:
+                    return False
+    for phi in header.phis():
+        pass  # header phi registers are written by the kernel; uses anywhere are fine
+
+    # every framestate value referenced inside the loop must be role-mapped
+    # or loop-invariant (checked again with registers at lowering)
+    for bb in plan.body_blocks:
+        for ins in bb.instrs:
+            fs = getattr(ins, "framestate", None)
+            if fs is None:
+                continue
+            for v in fs.iter_values():
+                # in-loop Consts are preloaded registers — always correct
+                if in_loop(v) and id(v) not in plan.roles and not isinstance(v, I.Const):
+                    return False
+    return True

@@ -136,6 +136,118 @@ class FrameStateDescr:
         )
 
 
+class KernelIterState:
+    """The loop-variant values of one bulk-kernel iteration.
+
+    A vector kernel (``opt/vectorize.py``) executes many iterations of a
+    counted loop in one dispatch, so the registers of the replaced scalar
+    body are *stale* while it runs.  When a guard fires at element ``k``
+    (chaos mode, or a mid-vector type failure), the interpreter state of
+    iteration ``k`` must be reconstructed before the FrameState is built.
+    This object carries everything a :class:`KernelFrameTemplate` needs to
+    do that: the 0-based iteration index, the partial accumulator, the
+    elements loaded so far this iteration, and the loop-invariant values
+    verified at kernel entry.
+    """
+
+    __slots__ = ("j", "acc", "elems", "invs", "cmp", "mapv")
+
+    def __init__(self, j, acc=None, elems=None, invs=None, cmp=None, mapv=None):
+        self.j = j
+        self.acc = acc
+        self.elems = elems or {}
+        self.invs = invs or {}
+        self.cmp = cmp
+        self.mapv = mapv
+
+
+def eval_kernel_role(role, st: "KernelIterState"):
+    """Evaluate one symbolic register role against an iteration state.
+
+    Roles are small tagged tuples assigned by the vectorizer to every
+    loop-defined register that can appear in a deopt descriptor:
+
+    * ``("idx",)`` — the 0-based induction phi (``j``)
+    * ``("idx1",)`` / ``("seq",)`` — the 1-based element index (``j + 1``;
+      the iteration-space vector is a verified identity ``1:n`` colon)
+    * ``("elem", key)`` — the element loaded from invariant vector ``key``
+    * ``("acc",)`` / ``("acc_raw",)`` — the partial accumulator (boxed/raw)
+    * ``("inv", key)`` — a loop-invariant value verified at kernel entry
+    * ``("cmp",)`` — the compare-select condition of the current element
+    * ``("ex2", key)`` — the boxed generic extract of vector ``key``'s element
+    * ``("mapval",)`` — the elementwise map value of the current element
+    * ``("box", inner, kind)`` — the boxed form of another role
+    """
+    tag = role[0]
+    if tag == "idx":
+        return st.j
+    if tag == "idx1" or tag == "seq":
+        return st.j + 1
+    if tag == "elem":
+        return st.elems[role[1]]
+    if tag == "mapval":
+        return st.mapv
+    if tag == "acc":
+        return st.acc
+    if tag == "acc_raw":
+        v = st.acc
+        return v.data[0] if hasattr(v, "data") else v
+    if tag == "inv":
+        return st.invs[role[1]]
+    if tag == "cmp":
+        return st.cmp
+    if tag == "ex2":
+        # the generic Extract2 result: a fresh 1-element vector of the source
+        # vector's kind (the element may be None — extract2 does not NA-check)
+        from ..runtime.values import RVector
+
+        return RVector(st.invs[role[1]].kind, [st.elems[role[1]]])
+    if tag == "box":
+        from ..runtime.values import RVector
+
+        inner = eval_kernel_role(role[1], st)
+        kind = role[2]
+        if kind.name == "DBL" and type(inner) is int:
+            inner = float(inner)
+        elif kind.name == "INT" and type(inner) is bool:
+            inner = int(inner)
+        return RVector(kind, [inner])
+    raise ValueError("unknown kernel role %r" % (role,))
+
+
+class KernelFrameTemplate:
+    """Iteration-indexed FrameState template for one in-kernel guard.
+
+    The scalar loop body carries one :class:`DeoptDescr` per guard; its
+    register references are only valid while the scalar body actually runs.
+    For each guard covered by a bulk kernel, the lowerer pre-computes this
+    template: the loop-defined registers the guard's descriptor reads,
+    paired with the symbolic role that recomputes each one for an arbitrary
+    iteration index, plus how far into the iteration the guard sits (op /
+    guard / generic-op counts, for exact telemetry of the partial
+    iteration).  ``materialize`` instantiates the template at element ``k``
+    by writing the roles into the register file; the ordinary
+    ``build_framestate`` path then produces a FrameState indistinguishable
+    from one built by the scalar loop at that element.
+    """
+
+    __slots__ = ("slots", "ops_into", "guards_into", "gen_into")
+
+    def __init__(self, slots, ops_into, guards_into, gen_into):
+        #: [(reg, role)] — loop-defined registers the deopt descriptor reads
+        self.slots = slots
+        self.ops_into = ops_into
+        self.guards_into = guards_into
+        self.gen_into = gen_into
+
+    def materialize(self, regs, st: KernelIterState) -> None:
+        for reg, role in self.slots:
+            regs[reg] = eval_kernel_role(role, st)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<KernelFrameTemplate %d slots +%d ops>" % (len(self.slots), self.ops_into)
+
+
 class FrameState:
     """Runtime frame state, built by a failing guard's deopt branch.
 

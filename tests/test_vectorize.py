@@ -1,0 +1,331 @@
+"""Loop vectorization: equivalence, mid-kernel deopt exactness, legality.
+
+The vectorizer's contract is *decline-or-be-exact*: bulk kernels may refuse
+to run (zero observable effect — the scalar loop takes over), but whenever
+they do run they must be indistinguishable from the scalar execution in
+results, deopt event stream, and per-element op/guard accounting.  These
+tests pin the contract from four sides:
+
+* differential equivalence of vectorized vs scalar execution over the whole
+  benchmark registry, including chaos mode (same RNG consumption order);
+* a mid-kernel chaos trip at a deterministic element must materialize the
+  exact interpreter frame (loop index, partial accumulator, environment)
+  the scalar loop would have had at that element;
+* an ``NA`` at a fixed element ends bulk coverage at the element boundary
+  and the retained scalar loop reproduces the reference NA deopt;
+* illegal loops — unrecognized cross-iteration dependences, closure calls,
+  writing the vector being read — are rejected at match time: the pass
+  annotates nothing, the lowered code is bit-identical to a scalar compile,
+  and the IR still verifies;
+* repeated mid-kernel trips take the deoptless path: a context keyed on the
+  in-loop pc lands in the dispatch table and a continuation resumes the
+  remaining elements.
+"""
+
+import re
+
+import pytest
+
+from conftest import make_vm
+from repro import from_r
+from repro.bench.programs import REGISTRY
+from repro.ir.verifier import verify
+from repro.native import ops as N
+from repro.osr.framestate import DeoptReasonKind
+
+#: vectorized-vs-scalar equivalence must hold in plain JIT mode and under
+#: chaos (which also proves both engines draw from the chaos RNG in the
+#: same per-element order: a kernel covering k elements must consume
+#: exactly the draws the scalar loop would have)
+MODES = {
+    "jit": dict(compile_threshold=1, osr_threshold=50),
+    "chaos": dict(
+        compile_threshold=1,
+        osr_threshold=50,
+        enable_deoptless=True,
+        chaos_rate=0.05,
+        chaos_seed=1234,
+    ),
+}
+
+SUM_SRC = """
+f <- function(v, n) {
+  total <- 0
+  for (i in 1:n) total <- total + v[[i]]
+  total
+}
+"""
+
+
+def run_workload(name, cfg, vectorize, repeats=2):
+    w = REGISTRY.get(name)
+    vm = make_vm(vectorize=vectorize, **cfg)
+    vm.eval(w.source)
+    vm.eval(w.setup_code(w.n_test))
+    results = [from_r(vm.eval(w.call_code(w.n_test))) for _ in range(repeats)]
+    return results, vm.state.dispatch_signature(), vm
+
+
+@pytest.mark.parametrize("mode", sorted(MODES))
+@pytest.mark.parametrize("name", REGISTRY.names())
+def test_vectorized_matches_scalar(name, mode):
+    cfg = MODES[mode]
+    v_results, v_sig, v_vm = run_workload(name, cfg, vectorize=True)
+    s_results, s_sig, s_vm = run_workload(name, cfg, vectorize=False)
+    assert v_results == s_results, "%s[%s]: results diverged" % (name, mode)
+    for key in s_sig:
+        assert v_sig[key] == s_sig[key], (
+            "%s[%s]: %s diverged: vectorized=%r scalar=%r"
+            % (name, mode, key, v_sig[key], s_sig[key])
+        )
+    # kernel_elements is the one engine-dependent counter, by design
+    assert s_vm.state.kernel_elements == 0
+
+
+# -- mid-kernel deopt: exact frame at element k ---------------------------------
+
+
+def _env_of(fs):
+    items = fs.env_values if fs.env_values is not None else fs.env.bindings
+    # compiler-internal temporaries (the for-loop's hidden index/sequence
+    # slots) are gensym'd from a process-global counter, so their *names*
+    # differ between two VM instances; normalize the numeric suffix away
+    return {re.sub(r"\d+$", "#", name): v for name, v in items.items()}
+
+
+def _capture_deopts(vm, frames):
+    orig = vm.deopt
+
+    def spy(fs, reason, origin=None):
+        frames.append((fs.pc, reason.kind, _env_of(fs)))
+        return orig(fs, reason, origin=origin)
+
+    vm.deopt = spy
+
+
+def _chaos_sum_run(vectorize, calls=40, n=400):
+    vm = make_vm(
+        compile_threshold=1,
+        osr_threshold=100000,
+        vectorize=vectorize,
+        chaos_rate=0.01,
+        chaos_seed=99,
+        enable_deoptless=False,
+    )
+    frames = []
+    _capture_deopts(vm, frames)
+    vm.eval(SUM_SRC)
+    vm.eval("v <- 1.5 * (1:%d)" % n)
+    results = [from_r(vm.eval("f(v, %d)" % n)) for _ in range(calls)]
+    return results, frames, vm
+
+
+def test_chaos_midkernel_frame_matches_scalar():
+    """Chaos fires inside the bulk kernel at deterministic elements; the
+    materialized frame (loop index, partial accumulator, env) must equal
+    the one the scalar loop builds at the same guard of the same element."""
+    v_results, v_frames, v_vm = _chaos_sum_run(vectorize=True)
+    s_results, s_frames, s_vm = _chaos_sum_run(vectorize=False)
+
+    assert v_vm.state.kernel_elements > 0, "bulk kernel never ran"
+    assert v_vm.state.deopts > 0, "chaos never fired mid-kernel"
+    assert v_results == s_results
+    assert len(v_frames) == len(s_frames)
+    for (v_pc, v_kind, v_env), (s_pc, s_kind, s_env) in zip(v_frames, s_frames):
+        assert v_pc == s_pc
+        assert v_kind == s_kind
+        assert sorted(v_env) == sorted(s_env)
+        for name in s_env:
+            assert from_r(v_env[name]) == from_r(s_env[name]), (
+                "frame slot %r diverged at pc %d" % (name, v_pc)
+            )
+    # the accounting contract holds through the deopts too
+    v_sig, s_sig = v_vm.state.dispatch_signature(), s_vm.state.dispatch_signature()
+    for key in s_sig:
+        assert v_sig[key] == s_sig[key], "%s diverged" % key
+
+
+def _na_sum_run(vectorize, na_at=250, n=400, calls=6):
+    vm = make_vm(compile_threshold=1, osr_threshold=100000, vectorize=vectorize)
+    frames = []
+    _capture_deopts(vm, frames)
+    vm.eval(SUM_SRC)
+    vm.eval("v <- 1.5 * (1:%d)" % n)
+    vm.eval("v[[%d]] <- NA" % na_at)
+    results = [from_r(vm.eval("f(v, %d)" % n)) for _ in range(calls)]
+    return results, frames, vm
+
+
+def test_na_at_element_k_stops_at_boundary():
+    """An NA at element k is *not* a mid-iteration exit: the kernel covers
+    the NA-free prefix, declines the rest at the element boundary, and the
+    retained scalar loop reproduces the reference NA deopt exactly."""
+    v_results, v_frames, v_vm = _na_sum_run(vectorize=True)
+    s_results, s_frames, s_vm = _na_sum_run(vectorize=False)
+
+    assert v_results == s_results
+    assert all(r is None for r in v_results), "NA must propagate to the result"
+    assert v_vm.state.kernel_elements > 0, "the NA-free prefix was not covered"
+    # the scalar loop reproduces the NA deopt stream bit-identically
+    assert [(pc, kind) for pc, kind, _ in v_frames] == [
+        (pc, kind) for pc, kind, _ in s_frames
+    ]
+    assert any(kind == DeoptReasonKind.NA_CHECK for _, kind, _ in v_frames)
+    v_sig, s_sig = v_vm.state.dispatch_signature(), s_vm.state.dispatch_signature()
+    for key in s_sig:
+        assert v_sig[key] == s_sig[key], "%s diverged" % key
+
+
+# -- legality: illegal loops must be rejected at match time ---------------------
+
+#: loops the vectorizer must refuse: the annotation pass leaves
+#: ``graph.vector_loops`` empty, so the lowered code is bit-identical to a
+#: ``vectorize=False`` compile
+ILLEGAL = {
+    # cross-iteration dependence that is not a recognized reduction
+    # (acc on the right of '-': order-dependent alternating sum)
+    "unrecognized-recurrence": """
+f <- function(v, n) {
+  s <- 0
+  for (i in 1:n) s <- v[[i]] - s
+  s
+}
+""",
+    # second-order recurrence across two loop-carried variables
+    "two-accumulators": """
+f <- function(v, n) {
+  a <- 0
+  b <- 1
+  for (i in 1:n) {
+    t <- a + v[[i]]
+    a <- b
+    b <- t
+  }
+  b
+}
+""",
+    # the body calls a closure per element
+    "closure-call": """
+g <- function(x) x * 2
+f <- function(v, n) {
+  s <- 0
+  for (i in 1:n) s <- s + g(v[[i]])
+  s
+}
+""",
+    # writes the vector it reads (loop-carried memory dependence)
+    "write-read-alias": """
+f <- function(v, n) {
+  for (i in 1:n) v[[i]] <- v[[i]] + 1
+  v
+}
+""",
+}
+
+
+def _op_shape(ops):
+    prim = (int, float, bool, str, bytes, type(None), tuple)
+    return [
+        tuple(a if isinstance(a, prim) else type(a).__name__ for a in op)
+        for op in ops
+    ]
+
+
+def _compile_f(src, vectorize, monkeypatch=None, graphs=None):
+    vm = make_vm(compile_threshold=1, osr_threshold=100000, vectorize=vectorize)
+    if monkeypatch is not None:
+        import repro.opt.pipeline as pp
+
+        orig = pp.vectorize_loops
+
+        def traced(graph, config=None):
+            out = orig(graph, config)
+            graphs.append(graph)
+            return out
+
+        monkeypatch.setattr(pp, "vectorize_loops", traced)
+    vm.eval(src)
+    vm.eval("v <- 1.5 * (1:64)")
+    results = [from_r(vm.eval("f(v, 64)")) for _ in range(4)]
+    clo = vm.get_global("f")
+    assert clo.jit is not None and clo.jit.version is not None, "f never compiled"
+    return results, clo.jit.version
+
+
+@pytest.mark.parametrize("shape", sorted(ILLEGAL))
+def test_illegal_loops_rejected(shape, monkeypatch):
+    src = ILLEGAL[shape]
+    graphs = []
+    v_results, v_nc = _compile_f(src, vectorize=True, monkeypatch=monkeypatch, graphs=graphs)
+    s_results, s_nc = _compile_f(src, vectorize=False)
+
+    # the pass annotated nothing, and the IR it saw still verifies
+    assert graphs, "pipeline never reached the vectorizer"
+    for g in graphs:
+        assert g.vector_loops == [], "%s: loop was wrongly vectorized" % shape
+        verify(g)
+
+    # rejected means bit-identical lowering: same ops, no kernels (op
+    # operands may embed runtime objects — e.g. a speculated callee — whose
+    # identities differ between two VMs, so compare them by type)
+    assert v_nc.kernels == []
+    assert not any(op[0] in N.KERNEL_OPS for op in v_nc.ops)
+    assert _op_shape(v_nc.ops) == _op_shape(s_nc.ops), (
+        "%s: lowered code diverged" % shape
+    )
+    assert v_results == s_results
+
+
+def test_legal_loop_is_annotated(monkeypatch):
+    """Sanity for the rejection tests: the same harness *does* vectorize the
+    canonical reduction, so empty ``vector_loops`` above means rejection,
+    not a broken probe."""
+    graphs = []
+    _, nc = _compile_f(SUM_SRC, vectorize=True, monkeypatch=monkeypatch, graphs=graphs)
+    assert any(g.vector_loops for g in graphs), "sum loop was not recognized"
+    assert nc.kernels, "no kernel descriptor was built"
+    assert any(op[0] in N.KERNEL_OPS for op in nc.ops)
+
+
+# -- deoptless recovery from mid-kernel exits -----------------------------------
+
+
+def test_midkernel_deopt_takes_deoptless_path():
+    """Repeated chaos trips inside the bulk kernel must flow through the
+    standard deoptless machinery: a context keyed on the in-loop resume pc
+    (reason CHAOS, observed element type) lands in the closure's dispatch
+    table, a continuation is compiled for it, and later trips dispatch to
+    it instead of falling back to the interpreter."""
+    vm = make_vm(
+        compile_threshold=1,
+        osr_threshold=100000,
+        vectorize=True,
+        chaos_rate=0.004,
+        chaos_seed=7,
+        enable_deoptless=True,
+    )
+    vm.eval(SUM_SRC)
+    vm.eval("v <- 1.5 * (1:400)")
+    expected = sum(1.5 * k for k in range(1, 401))
+    for _ in range(30):
+        assert from_r(vm.eval("f(v, 400)")) == pytest.approx(expected)
+
+    st = vm.state
+    assert st.kernel_elements > 0, "bulk kernel never ran"
+    assert st.deopts > 0, "chaos never tripped the kernel"
+    assert st.deoptless_dispatches > 0, "mid-kernel exits never dispatched"
+
+    clo = vm.get_global("f")
+    entries = clo.jit.deoptless_table.entries
+    assert entries, "no context in the dispatch table"
+    ctx, cont = entries[0]
+    assert ctx.reason.kind == DeoptReasonKind.CHAOS
+    assert ctx.reason.observed_type is not None, "context not keyed on element type"
+    # the continuation is real compiled code resuming mid-loop
+    assert cont.is_deoptless_continuation
+    assert any(name == "total" for name, _ in ctx.env_types), (
+        "partial accumulator missing from the context environment"
+    )
+    assert any(name == "i" for name, _ in ctx.env_types), (
+        "loop index missing from the context environment"
+    )
