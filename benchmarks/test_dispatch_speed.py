@@ -1,6 +1,6 @@
 """Dispatch micro-benchmark — vectorized vs threaded vs reference engines.
 
-Two layered acceptance bars on the native tier:
+Three layered acceptance bars on the native tier:
 
 * the closure-compiled threaded dispatch (superinstruction fusion + jump
   threading) must keep its >=1.3x geomean over the reference loops
@@ -10,7 +10,13 @@ Two layered acceptance bars on the native tier:
   kernels (sum, colsum, spectralnorm).  spectralnorm's hot loops call a
   closure per element and are legitimately rejected by the vectorizer, so
   it contributes ~1.0x — the bulk kernels of sum/colsum must carry the
-  geomean past the bar anyway.
+  geomean past the bar anyway;
+* speculative call-target inlining (``opt/inline.py``) must buy a >=1.5x
+  geomean over the guarded-call path (``Config.inline`` off) on the
+  call-heavy group — small closures invoked from hot loops.  The
+  ``call_poly`` workload drives a genuinely megamorphic site through the
+  polymorphic inline cache; it is not inlinable by design and is reported
+  separately (speedup ~1.0x, PIC hits on both configurations).
 
 All three engines must produce identical dispatch signatures: kernel
 accounting charges covered elements at exact scalar rates (the per-element
@@ -23,7 +29,7 @@ Results are persisted as JSON via the harness (``benchmarks/results/`` or
 import time
 
 from conftest import bench_scale, report
-from repro import Config, RVM
+from repro import Config, RVM, from_r
 from repro.bench.harness import format_speedup_table, geomean, save_json
 from repro.bench.programs import REGISTRY
 
@@ -39,6 +45,14 @@ VEC_KERNELS = {
     "sum_phases": (4000, 40000),
     "colsum": (200, 2000),
     "spectralnorm": (16, 40),
+}
+
+#: the call-heavy group: monomorphic call sites the inliner splices
+CALL_KERNELS = {
+    "call_scalar": (6000, 60000),
+    "call_chain": (4000, 40000),
+    "call_nested": (5000, 50000),
+    "call_default": (6000, 60000),
 }
 
 
@@ -142,3 +156,82 @@ def test_vectorize_speedup(bench_scale):
     # the bulk kernels actually covered elements on the kernels that matter
     assert payload["kernels"]["sum_phases"]["kernel_elements"] > 0
     assert payload["kernels"]["colsum"]["kernel_elements"] > 0
+
+
+def _time_calls(name, inline, n, warmup=2, iters=5):
+    """Time one call-heavy workload with the inliner on or off; returns
+    (best wall-clock, result, pic hits, inlined frames)."""
+    w = REGISTRY.get(name)
+    cfg = Config(compile_threshold=1, osr_threshold=50)
+    cfg.inline = inline
+    vm = RVM(cfg)
+    vm.eval(w.source)
+    vm.eval(w.setup_code(n))
+    call = w.call_code(n)
+    result = None
+    for _ in range(warmup):
+        result = vm.eval(call)
+    times = []
+    for _ in range(iters):
+        t0 = time.perf_counter()
+        result = vm.eval(call)
+        times.append(time.perf_counter() - t0)
+    return min(times), from_r(result), vm.state.pic_hits, vm.state.inlined_frames
+
+
+def test_inline_speedup(bench_scale):
+    rows = []
+    payload = {"scale": bench_scale, "kernels": {}}
+    for name, (n_test, n_full) in CALL_KERNELS.items():
+        n = n_full if bench_scale == "full" else n_test
+        i_time, i_res, _, i_frames = _time_calls(name, inline=True, n=n)
+        g_time, g_res, _, g_frames = _time_calls(name, inline=False, n=n)
+        speedup = g_time / i_time
+        rows.append((name, speedup, "n=%d frames=%d" % (n, i_frames)))
+        payload["kernels"][name] = {
+            "n": n,
+            "inlined_s": i_time,
+            "guarded_s": g_time,
+            "speedup": speedup,
+            "inlined_frames": i_frames,
+        }
+        # inlining is an optimization, not a semantics change
+        assert i_res == g_res, "%s: inline changed the result" % name
+        assert i_frames > 0, "%s: nothing was inlined" % name
+        assert g_frames == 0, "%s: inline=False still spliced frames" % name
+
+    speedups = [s for _, s, _ in rows]
+    payload["geomean_speedup"] = geomean(speedups)
+
+    # the megamorphic workload exercises the PIC on both configurations and
+    # is reported alongside (it is not part of the inlining geomean: the
+    # site is polymorphic, so the inliner correctly leaves it alone)
+    n_poly = REGISTRY.get("call_poly").n if bench_scale == "full" else 1500
+    p_time, p_res, p_hits, _ = _time_calls("call_poly", inline=True, n=n_poly)
+    q_time, q_res, q_hits, _ = _time_calls("call_poly", inline=False, n=n_poly)
+    assert p_res == q_res
+    assert p_hits > 0 and q_hits > 0, "megamorphic site never hit the PIC"
+    payload["poly"] = {
+        "n": n_poly,
+        "inlined_s": p_time,
+        "guarded_s": q_time,
+        "speedup": q_time / p_time,
+        "pic_hits": p_hits,
+    }
+
+    path = save_json("BENCH_inline", payload)
+    report(
+        "Inline: spliced callees vs guarded calls (native tier)",
+        format_speedup_table(rows)
+        + "\ncall_poly (PIC, not inlinable) %.2fx, %d pic hits"
+        % (payload["poly"]["speedup"], p_hits)
+        + "\ngeomean %.2fx  (results -> %s)" % (payload["geomean_speedup"], path),
+    )
+
+    # acceptance: splicing the callee must beat re-running the guarded call
+    # protocol by >=1.5x overall, and every workload must improve
+    assert payload["geomean_speedup"] >= 1.5, (
+        "inlining below the 1.5x bar (%.2fx)" % payload["geomean_speedup"]
+    )
+    for name, speedup, _ in rows:
+        assert speedup >= 1.1, "%s: inlining barely helps (%.2fx)" % (name, speedup)

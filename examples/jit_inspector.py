@@ -6,6 +6,12 @@ Shows, for the paper's sum function: the bytecode the baseline interpreter
 runs, the collected type feedback, the speculative IR (with Assume guards
 and FrameStates), the lowered register code, and the deoptless dispatch
 table after a phase change.
+
+Then, for a call-heavy driver: the speculative inline tree, the nested
+FrameState chains its compiled code carries for checkpoints inside inlined
+bodies, and an end-to-end deopt-through-inlinee trace (the free variable
+``k`` changes type, failing a guard three frames deep; deoptless compiles
+a continuation for the chained state and the outer frames resume).
 """
 
 from repro import Config, RVM
@@ -75,6 +81,89 @@ def main() -> None:
     for e in vm.state.events:
         details = {k: v for k, v in e.details.items()}
         print("  %-20s %-10s %s" % (e.kind, e.fn_name, details))
+
+    inspect_inlining()
+
+
+#: ``inc`` reads the free variable ``k`` from its lexical environment, so
+#: its inlined copies keep a type guard the optimizer cannot fold away —
+#: the checkpoint that makes the nested FrameState chains observable
+INLINE_SRC = """
+k <- 1
+inc <- function(x) x + k
+twice <- function(x) {
+  a <- inc(x)
+  inc(a)
+}
+driver <- function(n) {
+  s <- 0
+  i <- 0
+  while (i < n) {
+    s <- s + twice(i)
+    i <- i + 1
+  }
+  s
+}
+"""
+
+
+def _chain_str(descr) -> str:
+    parts = []
+    while descr is not None:
+        fun = " (%s)" % descr.fun.name if descr.fun is not None else ""
+        parts.append("%s@pc%d%s" % (descr.code.name, descr.pc, fun))
+        descr = descr.parent
+    return " -> ".join(parts)
+
+
+def inspect_inlining() -> None:
+    vm = RVM(Config(enable_deoptless=True, compile_threshold=3))
+    vm.eval(INLINE_SRC)
+    for _ in range(6):
+        vm.eval("driver(40)")
+    clo = vm.global_env.get("driver")
+
+    print()
+    print("=" * 70)
+    print("7. SPECULATIVE INLINE TREE (for the compiled driver)")
+    print("=" * 70)
+    print("  driver")
+    for e in vm.state.events_of("inline"):
+        if e.fn_name != "driver":
+            continue
+        print("  %s%s  (call pc %d, %d bytecode ops)"
+              % ("    " * e.details["depth"], e.details["callee"],
+                 e.details["pc"], e.details["size"]))
+
+    print()
+    print("=" * 70)
+    print("8. NESTED FRAMESTATE CHAINS (innermost frame first)")
+    print("=" * 70)
+    seen = set()
+    for d in clo.jit.version.deopts:
+        if d.parent is None:
+            continue
+        s = _chain_str(d)
+        if s not in seen:
+            seen.add(s)
+            print("  " + s)
+
+    print()
+    print("=" * 70)
+    print("9. DEOPT THROUGH AN INLINED FRAME (k becomes an int)")
+    print("=" * 70)
+    vm.eval("k <- 2L")
+    r = vm.eval("driver(5)")
+    print("  driver(5) =", r, " (exact: every frame of the chain resumed)")
+    for e in vm.state.events:
+        if e.kind in ("deopt", "deoptless_compile", "deoptless_dispatch"):
+            details = {k: v for k, v in e.details.items()}
+            print("  %-20s %-10s %s" % (e.kind, e.fn_name, details))
+    inc_clo = vm.global_env.get("inc")
+    if inc_clo.jit.deoptless_table is not None:
+        print("  inc's dispatch table:")
+        for ctx, ncode in inc_clo.jit.deoptless_table.entries:
+            print("    %r\n      -> %r" % (ctx, ncode))
 
 
 if __name__ == "__main__":

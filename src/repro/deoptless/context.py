@@ -81,7 +81,7 @@ class ReasonPayload:
 class DeoptContext:
     """The dispatchable description of one deoptimization state."""
 
-    __slots__ = ("pc", "reason", "stack_types", "env_types")
+    __slots__ = ("pc", "reason", "stack_types", "env_types", "depth")
 
     def __init__(
         self,
@@ -89,18 +89,25 @@ class DeoptContext:
         reason: ReasonPayload,
         stack_types: Tuple[RType, ...],
         env_types: Tuple[Tuple[str, RType], ...],
+        depth: int = 1,
     ):
         self.pc = pc
         self.reason = reason
         self.stack_types = stack_types
         #: sorted by name so comparability does not depend on insertion order
         self.env_types = env_types
+        #: frame-chain length of the deopt state (1 = not inlined).  A deopt
+        #: at the same inlinee pc reached through a different inline nesting
+        #: is a different context: the continuation's interpreter-resumed
+        #: parent chain differs.
+        self.depth = depth
 
     # -- partial order -----------------------------------------------------------
 
     def comparable(self, other: "DeoptContext") -> bool:
         return (
             self.pc == other.pc
+            and self.depth == other.depth
             and self.reason.kind == other.reason.kind
             and len(self.stack_types) == len(other.stack_types)
             and len(self.env_types) == len(other.env_types)
@@ -124,13 +131,14 @@ class DeoptContext:
         return (
             isinstance(other, DeoptContext)
             and self.pc == other.pc
+            and self.depth == other.depth
             and self.reason == other.reason
             and self.stack_types == other.stack_types
             and self.env_types == other.env_types
         )
 
     def __hash__(self):  # pragma: no cover
-        return hash((self.pc, self.reason.kind, self.stack_types, self.env_types))
+        return hash((self.pc, self.depth, self.reason.kind, self.stack_types, self.env_types))
 
     # -- heuristics -----------------------------------------------------------------
 
@@ -160,7 +168,8 @@ class DeoptContext:
 
     def __repr__(self) -> str:  # pragma: no cover
         env = ", ".join("%s:%r" % (n, t) for n, t in self.env_types)
-        return "<ctx @%d %r stack=%r env={%s}>" % (self.pc, self.reason, self.stack_types, env)
+        d = " depth=%d" % self.depth if self.depth != 1 else ""
+        return "<ctx @%d%s %r stack=%r env={%s}>" % (self.pc, d, self.reason, self.stack_types, env)
 
 
 #: kind precision rank: lower lattice kinds are more specific, so a dbl
@@ -220,5 +229,6 @@ def compute_context(fs: FrameState, reason: DeoptReason, config) -> Optional[Deo
     payload = ReasonPayload(reason.kind, observed_type, observed_identity)
     # the context's target is the *resume* pc of the framestate (it equals
     # reason.pc for all guards our builder emits, but the resume point is
-    # what actually has to match for a continuation to be reusable)
-    return DeoptContext(fs.pc, payload, stack_types, env_types)
+    # what actually has to match for a continuation to be reusable); deopts
+    # inside inlined frames additionally key on the frame-chain depth
+    return DeoptContext(fs.pc, payload, stack_types, env_types, depth=fs.depth())

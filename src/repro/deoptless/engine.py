@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from ..bytecode import interpreter
 from ..ir.builder import CompilationFailure, GraphBuilder
 from ..native.executor import execute
 from ..native.lower import NativeCode, lower
@@ -40,8 +41,11 @@ def deoptless_condition(vm, fs: FrameState, reason: DeoptReason, origin) -> bool
         return False  # code is permanently invalid; must be discarded
     if origin is not None and origin.is_deoptless_continuation:
         return False  # no recursive deoptless (paper section 4.3)
-    if fs.parent is not None:
-        return False  # deopts inside inlined code are excluded (section 4.3)
+    # NOTE: deopts inside inlined code (fs.parent is not None) are *not*
+    # excluded — this lifts the paper's section-4.3 limitation.  The context
+    # is keyed on the inlinee's pc, the frame depth, and the reason; the
+    # continuation runs the innermost frame natively and the enclosing
+    # frames resume in the interpreter (call_continuation).
     if fs.fun is None or fs.fun.jit is None:
         return False  # no per-function dispatch table to hang the code on
     return True
@@ -109,7 +113,7 @@ def deoptless_compile(vm, fs: FrameState, reason: DeoptReason, ctx: DeoptContext
             feedback_override=feedback,
         )
         graph = builder.build()
-        optimize(graph, vm.config)
+        optimize(graph, vm.config, vm=vm)
         ncode = lower(graph)
     except CompilationFailure as e:
         vm.state.compile_failures += 1
@@ -145,4 +149,15 @@ def call_continuation(vm, ncode: NativeCode, fs: FrameState) -> Any:
     closure_env = fs.closure_env if fs.closure_env is not None else (
         fs.fun.env if fs.fun is not None else None
     )
-    return execute(ncode, args, vm, closure_env=closure_env)
+    result = execute(ncode, args, vm, closure_env=closure_env)
+    # If the deopt happened inside an *inlined* frame, the continuation only
+    # covered the innermost (callee) frame; unwind the recorded parent chain
+    # in the interpreter, pushing each callee's return value (same resume
+    # convention as osr_out.resume_in_interpreter).
+    parent = fs.parent
+    while parent is not None:
+        stack = list(parent.stack)
+        stack.append(result)
+        result = interpreter.run(parent.code, parent.materialize_env(), vm, stack, parent.pc)
+        parent = parent.parent
+    return result

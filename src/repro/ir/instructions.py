@@ -364,6 +364,21 @@ class CheckFun(Instr):
         super().__init__(ANY, [v])
 
 
+class Share(Instr):
+    """Mark a value as shared (``named = 2``) at an inline boundary.
+
+    Argument binding gives the callee a reference the caller also holds, so
+    both the interpreter and the native calling convention bump the NAMED
+    count on vector arguments.  Inlined calls have no binding step — this
+    instruction performs the bump so copy-on-write behaves identically.
+    """
+
+    effectful = True
+
+    def __init__(self, v: Instr):
+        super().__init__(ANY, [v])
+
+
 # ---------------------------------------------------------------------------
 # speculation: tests, guards, boxing
 # ---------------------------------------------------------------------------

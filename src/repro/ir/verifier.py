@@ -90,15 +90,42 @@ def verify(graph: Graph) -> None:
                     )
             seen_here.add(id(ins))
 
-    # framestates reference in-graph values only
+    # framestates: every frame of the (possibly nested) chain is well-formed
+    #   * the parent chain is acyclic
+    #   * each frame's pc is a valid index into its bytecode
+    #   * every referenced value (any frame) is in the graph and, when it is
+    #     defined in the checkpoint's own block, is defined *before* the
+    #     checkpoint (the deopt must be able to read it)
     for bb in reachable:
+        pos = {id(ins): i for i, ins in enumerate(bb.instrs)}
         for ins in bb.instrs:
             fs = getattr(ins, "framestate", None)
-            while fs is not None:
-                for v in fs.iter_values():
-                    if id(v) not in defined_in:
-                        raise VerificationError(
-                            "BB%d: framestate of %s references a value not in "
-                            "the graph" % (bb.id, ins.name)
-                        )
-                fs = fs.parent
+            if fs is None:
+                continue
+            chain_seen: Set[int] = set()
+            frame = fs
+            while frame is not None:
+                if id(frame) in chain_seen:
+                    raise VerificationError(
+                        "BB%d: framestate of %s has a cyclic parent chain"
+                        % (bb.id, ins.name)
+                    )
+                chain_seen.add(id(frame))
+                if not (0 <= frame.pc < len(frame.code.code)):
+                    raise VerificationError(
+                        "BB%d: framestate of %s has pc %d outside %s (len %d)"
+                        % (bb.id, ins.name, frame.pc, frame.code.name,
+                           len(frame.code.code))
+                    )
+                frame = frame.parent
+            for v in fs.iter_values():
+                if id(v) not in defined_in:
+                    raise VerificationError(
+                        "BB%d: framestate of %s references a value not in "
+                        "the graph" % (bb.id, ins.name)
+                    )
+                if defined_in[id(v)] is bb and pos[id(v)] >= pos[id(ins)]:
+                    raise VerificationError(
+                        "BB%d: framestate of %s references %s defined after "
+                        "the checkpoint" % (bb.id, ins.name, v.name)
+                    )

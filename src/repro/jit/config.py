@@ -18,6 +18,12 @@ def _threaded_default() -> bool:
     return os.environ.get("RERPO_REF_EXEC", os.environ.get("REPRO_REF_EXEC", "0")) != "1"
 
 
+def _inline_default() -> bool:
+    """Speculative call-target inlining is on by default; ``RERPO_INLINE=0``
+    disables the pass (CI covers the guarded-call path with this leg)."""
+    return os.environ.get("RERPO_INLINE", os.environ.get("REPRO_INLINE", "1")) != "0"
+
+
 @dataclass
 class Config:
     # -- execution engine --------------------------------------------------------
@@ -48,6 +54,17 @@ class Config:
     #: the cost model and dispatch signature are engine-independent; the
     #: real speedup shows up in wall-clock only (benchmarks/).
     vectorize: bool = True
+    #: speculative call-target inlining (opt/inline.py): monomorphic
+    #: ``CallFeedback`` sites splice the callee's IR under the existing
+    #: identity guard.  Checkpoints inside the inlined body carry nested
+    #: FrameStates; deopts there materialize the full frame chain.
+    inline: bool = field(default_factory=_inline_default)
+    #: cost model: max callee bytecode ops for an inline candidate
+    inline_max_size: int = 48
+    #: cost model: max inlined frame depth (1 = calls from the root function)
+    inline_max_depth: int = 3
+    #: cost model: total callee bytecode ops inlined per compilation unit
+    inline_budget: int = 200
 
     # -- deoptless (the paper's contribution) -----------------------------------
     enable_deoptless: bool = False

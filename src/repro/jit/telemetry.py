@@ -50,6 +50,15 @@ class Telemetry:
         #: guards are charged to native_ops/guards_executed at scalar rates,
         #: which is what keeps the signature engine-identical.
         self.kernel_elements = 0
+        #: callee frames spliced by the speculative inliner (opt/inline.py).
+        #: A compile-time decision driven by feedback, identical across
+        #: engines, so it is part of dispatch_signature().
+        self.inlined_frames = 0
+        #: CALLG polymorphic-inline-cache hits.  Both executors run the same
+        #: cache policy over the same op stream, but like kernel_elements the
+        #: counter is kept out of dispatch_signature() — it describes how a
+        #: call was dispatched, not what was executed.
+        self.pic_hits = 0
         self._alloc_mark = RVector.allocations
         #: live compiled code size in native ops (memory proxy)
         self.code_size = 0
@@ -109,6 +118,7 @@ class Telemetry:
             "deoptless_misses": self.deoptless_misses,
             "deoptless_bailouts": self.deoptless_bailouts,
             "invalidations": self.invalidations,
+            "inlined_frames": self.inlined_frames,
             "deopt_events": [
                 (e.fn_name, e.details.get("reason"), e.details.get("pc"))
                 for e in self.events
@@ -129,6 +139,8 @@ class Telemetry:
             "deoptless_dispatches": self.deoptless_dispatches,
             "deoptless_compiles": self.deoptless_compiles,
             "kernel_elements": self.kernel_elements,
+            "inlined_frames": self.inlined_frames,
+            "pic_hits": self.pic_hits,
             "allocations": self.allocations(),
             "code_size": self.code_size,
         }

@@ -198,7 +198,7 @@ class RVM:
         try:
             builder = GraphBuilder(self, closure.code, closure)
             graph = builder.build()
-            optimize(graph, self.config)
+            optimize(graph, self.config, vm=self)
             ncode = lower(graph, drop_deopt_exits=self.config.unsound_drop_deopt_exits)
         except CompilationFailure as e:
             st.cant_compile = True
@@ -239,7 +239,15 @@ class RVM:
             return result
 
         # -- actual deoptimization (paper Figure 1) -------------------------------
-        fun = fs.fun
+        # With inlined frames the failing guard belongs to the innermost
+        # (callee) frame, but the compiled code being abandoned is the ROOT
+        # frame's — the caller whose unit the callee was spliced into.  The
+        # deopt_sites bump above stays on the callee's code, which is what
+        # blocks re-speculating that site in future builds.
+        root = fs
+        while root.parent is not None:
+            root = root.parent
+        fun = root.fun
         if fun is not None and fun.jit is not None:
             st = fun.jit
             if reason.kind in CATASTROPHIC_REASONS:

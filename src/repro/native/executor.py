@@ -65,6 +65,11 @@ def _type_matches(value: Any, t: RType) -> bool:
 
 
 def build_framestate(ncode: NativeCode, regs: List[Any], descr, closure_env) -> FrameState:
+    parent = None
+    if descr.parent is not None:
+        # inlined code: rebuild the whole caller chain from the same register
+        # file (every parent-frame value is live at the checkpoint)
+        parent = build_framestate(ncode, regs, descr.parent, closure_env)
     env_values = None
     env = None
     if descr.env_reg is not None:
@@ -74,9 +79,49 @@ def build_framestate(ncode: NativeCode, regs: List[Any], descr, closure_env) -> 
         for name, reg, kind in descr.env_slots:
             env_values[name] = _box(regs[reg], kind)
     stack = [_box(regs[reg], kind) for reg, kind in descr.stack]
+    if descr.fun is not None:
+        # an inlined frame belongs to the speculated callee: its elided env
+        # re-materializes under the callee's lexical environment
+        fun = descr.fun
+        frame_env = fun.env
+    else:
+        fun = ncode.closure
+        frame_env = closure_env
     return FrameState(
-        descr.code, descr.pc, env_values, stack, closure_env, env=env, fun=ncode.closure
+        descr.code, descr.pc, env_values, stack, frame_env, env=env,
+        parent=parent, fun=fun,
     )
+
+
+#: polymorphic inline cache capacity per CALLG site (paper-style small PIC)
+PIC_SIZE = 4
+
+
+def pic_call(cache: list, fn, args, names, vm) -> Any:
+    """Dispatch a megamorphic (CALLG) call through a small per-site cache.
+
+    ``cache`` holds up to :data:`PIC_SIZE` ``(callee, is_builtin)`` entries,
+    evicted FIFO.  A hit skips the generic ``call_function`` type dispatch;
+    semantics are identical either way.  Both executors share this helper,
+    so ``pic_hits`` counts the same in each engine for the same program.
+    """
+    for target, is_builtin in cache:
+        if target is fn:
+            vm.state.pic_hits += 1
+            if is_builtin:
+                return fn.fn([force_value(a, vm) for a in args], vm)
+            return vm.call_closure(fn, args, names)
+    if isinstance(fn, RBuiltin):
+        if len(cache) >= PIC_SIZE:
+            cache.pop(0)
+        cache.append((fn, True))
+        return fn.fn([force_value(a, vm) for a in args], vm)
+    if isinstance(fn, RClosure):
+        if len(cache) >= PIC_SIZE:
+            cache.pop(0)
+        cache.append((fn, False))
+        return vm.call_closure(fn, args, names)
+    raise RError("attempt to apply non-function")
 
 
 def execute(ncode: NativeCode, args: List[Any], vm, closure_env=None) -> Any:
@@ -331,6 +376,10 @@ def execute_ref(ncode: NativeCode, args: List[Any], vm, closure_env=None) -> Any
         elif op == N.CHECKFUN:
             if not isinstance(regs[ins[1]], (RClosure, RBuiltin)):
                 raise RError("attempt to apply non-function")
+        elif op == N.SHARE:
+            v = regs[ins[1]]
+            if isinstance(v, RVector):
+                v.named = 2
         elif op == N.LDVAR_ENV:
             v = regs[ins[2]].get(ins[3])
             if isinstance(v, RPromise):
@@ -381,7 +430,10 @@ def execute_ref(ncode: NativeCode, args: List[Any], vm, closure_env=None) -> Any
         elif op == N.CALLG:
             state.native_ops += nexec
             nexec = 0
-            regs[ins[1]] = call_function(regs[ins[2]], [regs[r] for r in ins[3]], ins[4], vm)
+            cache = ncode.pics.get(pc)
+            if cache is None:
+                cache = ncode.pics[pc] = []
+            regs[ins[1]] = pic_call(cache, regs[ins[2]], [regs[r] for r in ins[3]], ins[4], vm)
         elif op in N.KERNEL_OPS:
             # bulk vector kernel (opt/vectorize.py): covers k scalar loop
             # iterations in one dispatch, or declines with zero effect and

@@ -76,9 +76,13 @@ def _role_needs_def(role: tuple) -> bool:
 class DeoptDescr:
     """Everything the executor needs to build a runtime FrameState."""
 
-    __slots__ = ("code", "pc", "env_slots", "stack", "env_reg", "reason_kind", "reason_pc", "expected")
+    __slots__ = (
+        "code", "pc", "env_slots", "stack", "env_reg", "reason_kind",
+        "reason_pc", "expected", "parent", "fun",
+    )
 
-    def __init__(self, code, pc, env_slots, stack, env_reg, reason_kind, reason_pc, expected):
+    def __init__(self, code, pc, env_slots, stack, env_reg, reason_kind,
+                 reason_pc, expected, parent=None, fun=None):
         self.code = code
         self.pc = pc
         #: [(name, reg, kind_or_None)] — kind set when the reg holds a raw value
@@ -89,6 +93,11 @@ class DeoptDescr:
         self.reason_kind = reason_kind
         self.reason_pc = reason_pc
         self.expected = expected
+        #: enclosing caller frame when this descr sits inside inlined code
+        self.parent: Optional["DeoptDescr"] = parent
+        #: the RClosure an inlined frame belongs to (None: the executing
+        #: NativeCode's own closure — the root frame)
+        self.fun = fun
 
 
 class KernelGuard:
@@ -192,6 +201,9 @@ class NativeCode:
         self.invalidated = False
         #: lazily compiled threaded-dispatch handler array (native/threaded.py)
         self.threaded = None
+        #: per-CALLG polymorphic inline caches (reference executor), keyed by
+        #: op index; the threaded engine keeps its caches in handler closures
+        self.pics: Dict[int, list] = {}
 
     @property
     def size(self) -> int:
@@ -254,6 +266,18 @@ class Lowerer:
         reason_pc = getattr(ins, "reason_pc", None)
         if reason_pc is None:
             reason_pc = ins.feedback_origin if isinstance(ins, I.Assume) else fs.pc
+        if reason_kind is None:
+            reason_kind = ins.reason_kind if isinstance(ins, I.Assume) else DeoptReasonKind.OTHER
+        d = self._frame_descr(fs, reason_kind, reason_pc, expected)
+        self.nc.deopts.append(d)
+        return len(self.nc.deopts) - 1
+
+    def _frame_descr(self, fs, reason_kind, reason_pc, expected) -> DeoptDescr:
+        """Lower one FrameStateDescr frame; recurses through ``parent`` so
+        nested (inlined) frame chains survive lowering intact."""
+        parent = None
+        if fs.parent is not None:
+            parent = self._frame_descr(fs.parent, reason_kind, reason_pc, expected)
         env_slots = []
         env_reg = None
         if fs.env_value is not None:
@@ -263,11 +287,10 @@ class Lowerer:
                 kind = v.type.kind if v.unboxed else None
                 env_slots.append((name, self.reg(v), kind))
         stack = [(self.reg(v), v.type.kind if v.unboxed else None) for v in fs.stack]
-        if reason_kind is None:
-            reason_kind = ins.reason_kind if isinstance(ins, I.Assume) else DeoptReasonKind.OTHER
-        d = DeoptDescr(fs.code, fs.pc, env_slots, stack, env_reg, reason_kind, reason_pc, expected)
-        self.nc.deopts.append(d)
-        return len(self.nc.deopts) - 1
+        return DeoptDescr(
+            fs.code, fs.pc, env_slots, stack, env_reg, reason_kind, reason_pc,
+            expected, parent=parent, fun=getattr(fs, "fun", None),
+        )
 
     # -- main ---------------------------------------------------------------------------
 
@@ -747,6 +770,9 @@ class Lowerer:
             return
         if t is I.CheckFun:
             self.emit(N.CHECKFUN, self.reg(ins.args[0]))
+            return
+        if t is I.Share:
+            self.emit(N.SHARE, self.reg(ins.args[0]))
             return
         if t is I.LdVarEnv:
             if ins.args:

@@ -62,6 +62,9 @@ MKPROMISE = 50
 CALLB = 51
 CALLS = 52
 CALLG = 53
+# inline boundary: bump NAMED on a vector argument (copy-on-write parity
+# with the interpreter's argument binding)
+SHARE = 54
 
 # superinstructions (threaded dispatch only; never appear in NativeCode.ops,
 # only in the fused stream the closure compiler consumes).  Each covers two

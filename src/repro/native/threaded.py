@@ -808,12 +808,29 @@ def _f_calls(ins, idx, ops):
 def _f_callg(ins, idx, ops):
     d, fnreg, argregs, call_names = ins[1], ins[2], ins[3], ins[4]
     nxt, fold = _follow(ops, idx + 1)
+    # per-site polymorphic inline cache, one per compiled handler (the
+    # reference executor keeps the equivalent cache in ncode.pics)
+    cache: list = []
 
     def h(f):
         f.state.native_ops += f.nexec + 1
         f.nexec = fold
         r = f.regs
-        r[d] = call_function(r[fnreg], [r[x] for x in argregs], call_names, f.vm)
+        r[d] = pic_call(cache, r[fnreg], [r[x] for x in argregs], call_names, f.vm)
+        return nxt
+    return h
+
+
+def _f_share(ins, idx, ops):
+    a = ins[1]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        v = f.regs[a]
+        if isinstance(v, RVector):
+            v.named = 2
+        f.nexec += inc
         return nxt
     return h
 
@@ -959,6 +976,7 @@ _FACTORIES = {
     N.STVAR_ENV: _f_stvar_env, N.STSUPER: _f_stsuper, N.LDFUN: _f_ldfun,
     N.MKCLOSURE: _f_mkclosure, N.MKPROMISE: _f_mkpromise,
     N.CALLB: _f_callb, N.CALLS: _f_calls, N.CALLG: _f_callg,
+    N.SHARE: _f_share,
     N.GTYPE_UNBOX: _f_gtype_unbox, N.CMP_BRT: _f_cmp_brt,
     N.VLOAD_PADD: _f_vload_padd, N.BOX_RET: _f_box_ret,
     N.FUSED_GAP: _f_gap,
@@ -1008,6 +1026,7 @@ from .executor import (  # noqa: E402
     _super_assign_from,
     _type_matches,
     build_framestate,
+    pic_call,
 )
 
 _f_gen_set2 = _gen_triple(_set2)

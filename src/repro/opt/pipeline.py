@@ -1,10 +1,14 @@
 """The optimization pipeline.
 
-Order: simplify → DSE → DCE → simplify.  DSE is skipped for continuation
-graphs unless forced (paper section 4.2 anecdote).  The pipeline is
-deliberately small; the heavy lifting (speculation, unboxing, typed ops)
-happens during BC→IR translation, mirroring how Ř's early PIR phases do the
-speculative rewriting and later phases clean up.
+Order: inline → simplify → DSE → DCE → simplify.  Speculative call-target
+inlining runs first (it needs the raw guard+StaticCall shape the builder
+emits, and the cleanup passes then optimize across the inline boundary);
+it only runs when a ``vm`` is supplied, because splicing a callee requires
+building its IR from feedback.  DSE is skipped for continuation graphs
+unless forced (paper section 4.2 anecdote).  The pipeline is deliberately
+small; the heavy lifting (speculation, unboxing, typed ops) happens during
+BC→IR translation, mirroring how Ř's early PIR phases do the speculative
+rewriting and later phases clean up.
 """
 
 from __future__ import annotations
@@ -13,14 +17,18 @@ from ..ir.cfg import Graph
 from ..ir.verifier import verify
 from .dce import dce
 from .dse import dse
+from .inline import inline_calls
 from .simplify import simplify
 from .vectorize import vectorize_loops
 
 
-def optimize(graph: Graph, config=None) -> Graph:
+def optimize(graph: Graph, config=None, vm=None) -> Graph:
     check = config is None or getattr(config, "verify_ir", True)
     if check:
         verify(graph)
+    if vm is not None and config is not None and getattr(config, "inline", False):
+        if inline_calls(graph, vm) and check:
+            verify(graph)
     simplify(graph)
     force_dse = bool(config and getattr(config, "unsound_continuation_escape", False))
     dse(graph, force=force_dse)

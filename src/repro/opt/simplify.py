@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..runtime.rtypes import Kind
-from ..runtime.values import RVector
+from ..runtime.values import RPromise, RVector
 from ..ir import instructions as I
 from ..ir.cfg import Graph
 
@@ -52,6 +52,23 @@ def _peephole(graph: Graph) -> int:
     n = 0
     for bb in graph.rpo():
         for ins in list(bb.instrs):
+            # Force of a value that is statically not a promise is the
+            # identity: a freshly Boxed scalar, an unboxed raw, or a
+            # non-promise constant.  Inlined callees load every parameter
+            # through Force; at an inline boundary the argument is usually
+            # a Box of the caller's unboxed register, so this fold is what
+            # lets the Box/IsType/Unbox chain below collapse across it.
+            if isinstance(ins, I.Force):
+                v = ins.args[0]
+                if (
+                    isinstance(v, I.Box)
+                    or v.unboxed
+                    or (isinstance(v, I.Const) and not isinstance(v.value, RPromise))
+                ):
+                    graph.replace_all_uses(ins, v)
+                    bb.remove(ins)
+                    n += 1
+                    continue
             # Unbox(Box(x)) and Box(Unbox(x))
             if isinstance(ins, I.Unbox) and isinstance(ins.args[0], I.Box):
                 inner = ins.args[0].args[0]

@@ -10,9 +10,12 @@ Two levels, mirroring the paper's design (section 2, Figure 3):
   fails: boxed values for each local and stack slot.  This is the ``%f``
   buffer of Listing 3, and the argument to ``deopt()`` of Listing 4.
 
-FrameStates chain through ``parent`` to describe inlined frames; the
-deoptless engine refuses chained states (paper section 4.3: "we exclude
-deoptimizations inside inlined code").
+FrameStates chain through ``parent`` to describe inlined frames: a deopt
+inside an inlined callee delivers the *callee* frame, whose ``parent`` is
+the caller frame re-entered at the post-call pc (the callee's return value
+is pushed onto the caller's stack before it resumes).  The deoptless engine
+dispatches on chained states too — contexts are keyed on (pc, frame depth,
+reason) — lifting the section-4.3 exclusion the paper notes for Ř.
 """
 
 from __future__ import annotations
@@ -97,18 +100,24 @@ class FrameStateDescr:
     * ``env_value``: the IR value holding a real environment, when it was not
       elided (then ``env_slots`` is empty).
     * ``stack``: IR values mirroring the interpreter's operand stack.
-    * ``parent``: enclosing frame for inlined code, or None.
+    * ``parent``: enclosing frame for inlined code, or None.  The callee
+      frame is the *outer* descr; ``parent`` is the caller at the post-call
+      pc, with the callee/args already popped off its recorded stack.
+    * ``fun``: for an inlined frame, the RClosure the frame belongs to (its
+      ``env`` is the lexical parent of the re-materialized environment).
+      None for the root frame, whose closure is the executing NativeCode's.
     """
 
-    __slots__ = ("code", "pc", "env_slots", "env_value", "stack", "parent")
+    __slots__ = ("code", "pc", "env_slots", "env_value", "stack", "parent", "fun")
 
-    def __init__(self, code, pc, env_slots, stack, env_value=None, parent=None):
+    def __init__(self, code, pc, env_slots, stack, env_value=None, parent=None, fun=None):
         self.code = code
         self.pc = pc
         self.env_slots: List[Tuple[str, Any]] = env_slots
         self.env_value = env_value
         self.stack: List[Any] = stack
         self.parent: Optional["FrameStateDescr"] = parent
+        self.fun = fun
 
     def iter_values(self):
         for _, v in self.env_slots:

@@ -41,7 +41,7 @@ def try_osr_in(vm, code, env, pc: int, closure=None) -> Tuple[bool, Any]:
             builder.env_mode = True
             builder.graph.env_elided = False
         graph = builder.build()
-        optimize(graph, vm.config)
+        optimize(graph, vm.config, vm=vm)
         ncode = lower(graph)
     except CompilationFailure as e:
         code.osr_disabled = True

@@ -5,11 +5,13 @@ by the FrameState (environment bindings and operand stack), then run the
 bytecode interpreter from the recorded pc.  The result is returned to the
 deoptimized native code's caller (the native guard *tail-called* us).
 
-FrameStates can chain (``parent``) to describe inlined frames; as in the
-paper's proof-of-concept, the surrounding machinery only ever hands us
-single frames (deopts inside inlined code are not generated because the
-optimizer does not inline yet), but the resume logic below implements the
-chained case for completeness, matching Listing 4's recursion.
+FrameStates chain (``parent``) to describe inlined frames.  The deopt
+delivers the innermost (callee) frame: it is resumed first, at the faulting
+pc, and runs to its return.  Each enclosing caller frame is then re-entered
+at its recorded *post-call* pc with the callee's return value pushed onto
+its operand stack — exactly the state the interpreter would be in had the
+call never been inlined.  This matches Listing 4's recursion with the
+roles made explicit: inner frames complete before outer frames resume.
 """
 
 from __future__ import annotations
@@ -22,11 +24,14 @@ from .framestate import FrameState
 
 def resume_in_interpreter(vm, fs: FrameState) -> Any:
     """Continue execution of a deoptimized activation in the interpreter."""
-    env = fs.materialize_env()
-    stack = list(fs.stack)
-    if fs.parent is not None:
-        # Listing 4: evaluate the inner (callee) frame first and push its
-        # result where the outer frame's call expects it.
-        inner = resume_in_interpreter(vm, fs.parent)
-        stack.append(inner)
-    return interpreter.run(fs.code, env, vm, stack, fs.pc)
+    result = interpreter.run(fs.code, fs.materialize_env(), vm, list(fs.stack), fs.pc)
+    parent = fs.parent
+    while parent is not None:
+        # the caller frame was recorded at the pc *after* the inlined call,
+        # with the callee and its arguments already popped: push the return
+        # value and let the interpreter carry on from there
+        stack = list(parent.stack)
+        stack.append(result)
+        result = interpreter.run(parent.code, parent.materialize_env(), vm, stack, parent.pc)
+        parent = parent.parent
+    return result

@@ -126,3 +126,71 @@ def test_call_target_changes_agree_across_tiers(src, n):
         vm.eval(src)
         per_tier[tier] = [from_r(vm.eval(c)) for c in calls]
     assert per_tier["interp"] == per_tier["jit"] == per_tier["deoptless"], src
+
+
+@st.composite
+def inline_program(draw):
+    """Small closures called from a hot loop — speculative-inlining fodder.
+
+    ``inc`` has a constant default argument and ``combine`` calls it, so a
+    compiled ``drive`` exercises nested inlining (depth 2), default-argument
+    substitution, and guards *inside* the inlined bodies.
+    """
+    op1 = draw(st.sampled_from(["+", "*", "-"]))
+    op2 = draw(st.sampled_from(["+", "-"]))
+    d = draw(st.integers(1, 3))
+    k = draw(st.integers(1, 4))
+    return """
+inc <- function(x, d = %dL) x + d
+combine <- function(a, b) inc(a) %s b
+drive <- function(n) {
+  s <- %s
+  for (i in 1:n) s <- combine(s, i %s %dL)
+  s
+}
+""" % (d, op1, draw(st.sampled_from(["0L", "0", "1.5"])), op2, k)
+
+
+@given(inline_program(), st.integers(1, 12))
+@settings(max_examples=20, deadline=None)
+def test_inlined_calls_agree_across_tiers_and_engines(src, n):
+    """With ``Config.inline`` on, inlined code must match the interpreter
+    exactly, and the dispatch signature (op/guard counts + deopt stream)
+    must be identical between the threaded and reference executors."""
+    call = "drive(%dL)" % n
+    vm_ref = make_vm(enable_jit=False)
+    vm_ref.eval(src)
+    expected = [from_r(vm_ref.eval(call)) for _ in range(4)]
+    sigs = []
+    for threaded in (False, True):
+        vm = make_vm(compile_threshold=1, osr_threshold=50,
+                     threaded_dispatch=threaded, inline=True)
+        vm.eval(src)
+        got = [from_r(vm.eval(call)) for _ in range(4)]
+        assert got == expected, (src, got, expected)
+        assert vm.state.inlined_frames > 0
+        sigs.append(vm.state.dispatch_signature())
+    assert sigs[0] == sigs[1], src
+
+
+@given(inline_program(), st.integers(2, 10), st.integers(0, 2**31))
+@settings(max_examples=12, deadline=None)
+def test_chaos_deopts_inside_inlined_bodies(src, n, seed):
+    """Chaos-mode assumption failures inside inlined bodies (nested frame
+    chains, multi-frame materialization, deoptless dispatch on inlinee
+    states) never change results, on either executor, and leave identical
+    dispatch signatures."""
+    call = "drive(%dL)" % n
+    vm_ref = make_vm(enable_jit=False)
+    vm_ref.eval(src)
+    expected = from_r(vm_ref.eval(call))
+    sigs = []
+    for threaded in (False, True):
+        vm = make_vm(chaos_rate=0.05, chaos_seed=seed, compile_threshold=1,
+                     osr_threshold=50, enable_deoptless=True,
+                     threaded_dispatch=threaded, inline=True)
+        vm.eval(src)
+        for _ in range(5):
+            assert from_r(vm.eval(call)) == expected, (src, seed)
+        sigs.append(vm.state.dispatch_signature())
+    assert sigs[0] == sigs[1], src
