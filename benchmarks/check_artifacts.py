@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""CI gate: benchmark JSON artifacts must land where the repo tracks them.
+
+The placement policy lives in ``repro.bench.harness.save_json``:
+
+* ``BENCH_*.json`` are tracked acceptance artifacts and belong at the
+  **repository root** — a ``BENCH_*`` file that exists but is not tracked
+  by git means a benchmark produced an acceptance artifact that would be
+  silently lost (this is exactly how BENCH_inline.json and
+  BENCH_vectorize.json went missing inside the gitignored
+  ``benchmarks/results/`` for two releases);
+* scratch results belong in ``benchmarks/results/`` (gitignored) — a
+  ``BENCH_*`` file anywhere else in the tree means some caller bypassed
+  ``save_json``.
+
+Run from anywhere inside the repo; exits non-zero with a report on any
+violation.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+
+def repo_root() -> str:
+    out = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        capture_output=True, text=True, check=True,
+    )
+    return out.stdout.strip()
+
+
+def tracked_files(root: str) -> set:
+    out = subprocess.run(
+        ["git", "ls-files"], cwd=root, capture_output=True, text=True, check=True,
+    )
+    return set(out.stdout.splitlines())
+
+
+def main() -> int:
+    root = repo_root()
+    tracked = tracked_files(root)
+    errors = []
+
+    # 1. every BENCH_* artifact at the root must be tracked
+    for name in sorted(os.listdir(root)):
+        if name.startswith("BENCH_") and name.endswith(".json"):
+            if name not in tracked:
+                errors.append(
+                    "%s exists at the repo root but is not tracked by git; "
+                    "`git add %s` so the acceptance artifact is persisted" % (name, name)
+                )
+
+    # 2. no BENCH_* artifact may hide anywhere else (e.g. a gitignored
+    #    results dir, or a CWD-relative path from a bypassed save_json)
+    skip_dirs = {".git", "__pycache__", ".pytest_cache"}
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in skip_dirs]
+        if os.path.abspath(dirpath) == root:
+            continue
+        for name in filenames:
+            if name.startswith("BENCH_") and name.endswith(".json"):
+                errors.append(
+                    "%s: BENCH_* artifacts belong at the repository root "
+                    "(see repro.bench.harness.save_json)"
+                    % os.path.relpath(os.path.join(dirpath, name), root)
+                )
+
+    # 3. non-BENCH bench JSONs must be in benchmarks/results/ (scratch) —
+    #    check the canonical scratch dir exists if anything was produced
+    if errors:
+        print("benchmark artifact check FAILED:", file=sys.stderr)
+        for e in errors:
+            print("  - " + e, file=sys.stderr)
+        return 1
+    print("benchmark artifact check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""Compilation-cost benchmark — the context-keyed code cache.
+
+Two acceptance bars from the code-cache work:
+
+* **deopt-recovery latency**: when a *repeat* speculation context arrives
+  (the same mis-speculation in a sibling closure of identical code — think
+  N instances of one generic function specialized per call site), deoptless
+  recovery with the cache on must be >= 5x cheaper than with the cache off,
+  because the continuation is served from the cache in O(lookup) instead of
+  rebuilding IR, re-verifying and re-lowering it;
+* **warm start**: a restarted VM pointed at a persisted cache directory
+  must compile >= 80% fewer instructions than the cold run while producing
+  identical results.
+
+Latency is measured in the deterministic simulated-cycle model
+(``vm.cycles()``), where compilation cost dominates recovery cost —
+matching the paper's observation that deoptless's win is avoiding the
+re-profile/re-compile round trip, not the dispatch itself.
+
+Results are persisted to ``BENCH_compile.json`` at the repository root
+(the tracked acceptance artifact, next to ``BENCH_inline.json`` and
+``BENCH_vectorize.json``).
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, report
+from repro import Config, RVM, from_r
+from repro.bench.harness import save_json
+
+#: one generic reduction; instances sumfn_0..sumfn_{N-1} share its content
+SUM_TEMPLATE = """
+%s <- function(data, len) {
+  total <- 0
+  for (i in 1:len) total <- total + data[[i]]
+  total
+}
+"""
+
+SETUP = (
+    "xi <- c(1L, 2L, 3L, 4L)",
+    "xd <- c(1.5, 2.5, 3.0, 4.5)",
+)
+
+EXPECT_INT = 10
+EXPECT_DBL = 11.5
+
+
+def _fresh_vm(codecache, codecache_dir=None):
+    cfg = Config(compile_threshold=2, enable_deoptless=True,
+                 codecache=codecache, codecache_dir=codecache_dir)
+    vm = RVM(cfg)
+    for s in SETUP:
+        vm.eval(s)
+    return vm
+
+
+def _recovery_latencies(vm, n_instances):
+    """Define N identical closures; warm each on ints, then hit each with
+    doubles — a deoptless recovery per instance.  Returns per-instance
+    recovery latency in simulated cycles."""
+    latencies = []
+    for i in range(n_instances):
+        name = "sumfn_%d" % i
+        vm.eval(SUM_TEMPLATE % name)
+        for _ in range(5):
+            assert from_r(vm.eval("%s(xi, 4L)" % name)) == EXPECT_INT
+        c0 = vm.cycles()
+        r = vm.eval("%s(xd, 4L)" % name)
+        latencies.append(vm.cycles() - c0)
+        assert from_r(r) == EXPECT_DBL
+    return latencies
+
+
+def test_repeat_context_recovery_latency(bench_scale):
+    n = 12 if bench_scale == "full" else 6
+    vm_on = _fresh_vm(codecache=True)
+    lat_on = _recovery_latencies(vm_on, n)
+    vm_off = _fresh_vm(codecache=False)
+    lat_off = _recovery_latencies(vm_off, n)
+
+    # instance 0 is the cold compile on both configurations; every later
+    # instance is a *repeat* context — the cache's target case
+    repeat_on = sum(lat_on[1:]) / (n - 1)
+    repeat_off = sum(lat_off[1:]) / (n - 1)
+    ratio = repeat_off / repeat_on
+
+    assert vm_on.state.deoptless_compiles == 1, "one continuation build, cache-on"
+    assert vm_off.state.deoptless_compiles == n, "one build per instance, cache-off"
+    assert vm_on.state.deoptless_dispatches == n
+    assert vm_off.state.deoptless_dispatches == n
+
+    payload = {
+        "scale": bench_scale,
+        "instances": n,
+        "cold_recovery_cycles": {"on": lat_on[0], "off": lat_off[0]},
+        "repeat_recovery_cycles": {"on": repeat_on, "off": repeat_off},
+        "repeat_recovery_speedup": ratio,
+        "deoptless_compiles": {"on": vm_on.state.deoptless_compiles,
+                               "off": vm_off.state.deoptless_compiles},
+        "codecache_hits": vm_on.state.codecache_hits
+        + vm_on.state.codecache_stable_hits,
+    }
+
+    vm2_on, vm2_off = _fresh_vm(True), _fresh_vm(False)
+    warm = _warmstart_metrics(vm2_on, vm2_off, payload)
+
+    path = save_json("BENCH_compile", payload)
+    report(
+        "Code cache: deopt-recovery latency and warm start",
+        "repeat-context recovery: %.0f cycles (cache on) vs %.0f (off) -> %.1fx\n"
+        "warm start: %d instrs compiled vs %d cold -> %.0f%% fewer\n"
+        "(results -> %s)" % (
+            repeat_on, repeat_off, ratio,
+            warm["warm_instrs"], warm["cold_instrs"],
+            100.0 * (1 - warm["warm_instrs"] / warm["cold_instrs"]), path,
+        ),
+    )
+
+    # acceptance: repeat-context deopt recovery >= 5x cheaper with the cache
+    assert ratio >= 5.0, "repeat recovery only %.2fx cheaper with cache" % ratio
+    # acceptance: warm start compiles >= 80% fewer instructions
+    assert warm["warm_instrs"] <= 0.2 * warm["cold_instrs"], \
+        "warm start compiled %d of %d cold instrs" % (
+            warm["warm_instrs"], warm["cold_instrs"])
+
+
+def _run_workload(vm):
+    vm.eval(SUM_TEMPLATE % "sumfn")
+    out = []
+    for _ in range(5):
+        out.append(repr(vm.eval("sumfn(xi, 4L)")))
+    for _ in range(3):
+        out.append(repr(vm.eval("sumfn(xd, 4L)")))
+    vm.state.reset_counters()
+    for _ in range(4):
+        out.append(repr(vm.eval("sumfn(xi, 4L)")))
+        out.append(repr(vm.eval("sumfn(xd, 4L)")))
+    return out
+
+
+def _warmstart_metrics(vm_on, vm_off, payload, tmp_dir=None):
+    """Cold run persists the cache; a restarted VM replays the workload from
+    disk.  Also checks the cache-on/off equivalence contract on the way."""
+    import tempfile
+
+    d = tmp_dir or tempfile.mkdtemp(prefix="repro-ccache-")
+    cold = _fresh_vm(codecache=True, codecache_dir=d)
+    cold_out = _run_workload(cold)
+    cold_sig = cold.state.steady_signature()
+    cold_instrs = cold.state.compiled_instrs
+    cold.save_code_cache()
+
+    off_out = _run_workload(vm_off)
+    off_sig = vm_off.state.steady_signature()
+    assert cold_out == off_out, "cache-on and cache-off results diverged"
+    assert cold_sig == off_sig, "steady-state dispatch signatures diverged"
+
+    warm = _fresh_vm(codecache=True, codecache_dir=d)
+    warm_out = _run_workload(warm)
+    assert warm_out == cold_out, "warm-start results diverged"
+    warm_instrs = warm.state.compiled_instrs
+
+    metrics = {
+        "cold_instrs": cold_instrs,
+        "warm_instrs": warm_instrs,
+        "warm_disk_hits": warm.state.codecache_disk_hits,
+        "steady_signature": cold_sig,
+    }
+    payload["warm_start"] = metrics
+    return metrics

@@ -83,6 +83,7 @@ def main() -> None:
         print("  %-20s %-10s %s" % (e.kind, e.fn_name, details))
 
     inspect_inlining()
+    inspect_code_cache()
 
 
 #: ``inc`` reads the free variable ``k`` from its lexical environment, so
@@ -164,6 +165,47 @@ def inspect_inlining() -> None:
         print("  inc's dispatch table:")
         for ctx, ncode in inc_clo.jit.deoptless_table.entries:
             print("    %r\n      -> %r" % (ctx, ncode))
+
+
+def inspect_code_cache() -> None:
+    """The context-keyed code cache and the background tier-up queue."""
+    vm = RVM(Config(enable_deoptless=True, compile_threshold=3,
+                    codecache=True, tierup_mode="step"))
+    vm.eval(SRC)
+    vm.eval(SRC.replace("sumfn", "sumfn2"))  # identical body, new name
+    vm.eval("x <- c(1.5, 2.5, 3.5)")
+    vm.eval("xi <- c(1L, 2L, 3L)")
+
+    print()
+    print("=" * 70)
+    print("10. TIER-UP QUEUE (step mode: enqueue at the call site, drain on demand)")
+    print("=" * 70)
+    for _ in range(6):
+        vm.eval("sumfn(x, 3L)")
+    q = vm.compile_queue
+    print("  mode=%s  pending=%d  enqueues=%d  installs=%d"
+          % (q.mode, len(q.pending), vm.state.tierup_enqueues,
+             vm.state.tierup_installs))
+    n = vm.drain_compile_queue()
+    print("  drained %d request(s): installs=%d compiles=%d"
+          % (n, vm.state.tierup_installs, vm.state.compiles))
+
+    print()
+    print("=" * 70)
+    print("11. CODE CACHE (sumfn2 shares sumfn's unit; a phase change adds a cont)")
+    print("=" * 70)
+    for _ in range(6):
+        vm.eval("sumfn2(x, 3L)")
+    vm.drain_compile_queue()
+    vm.eval("sumfn(xi, 3L)")   # deoptless continuation, cached
+    vm.eval("sumfn2(xi, 3L)")  # same context in the sibling: served from cache
+    print(vm.code_cache.describe())
+    print("  hits=%d stable_hits=%d misses=%d  compiles=%d (sumfn2 paid zero)"
+          % (vm.state.codecache_hits, vm.state.codecache_stable_hits,
+             vm.state.codecache_misses, vm.state.compiles))
+    for e in vm.state.events_of("codecache_hit"):
+        details = {k: v for k, v in e.details.items()}
+        print("  %-20s %-10s %s" % (e.kind, e.fn_name, details))
 
 
 if __name__ == "__main__":

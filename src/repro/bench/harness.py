@@ -166,15 +166,33 @@ def format_series_table(results: Sequence[RunResult], metric: str = "wall_s") ->
     return "\n".join(lines)
 
 
+#: repository root (…/src/repro/bench/harness.py -> four levels up); bench
+#: artifact placement must not depend on the pytest invocation's CWD
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))))
+
+
 def save_json(name: str, payload: Dict[str, Any], path: Optional[str] = None) -> str:
     """Persist a benchmark's results as JSON for CI and report tooling.
 
-    The destination is ``path`` if given, else ``$REPRO_BENCH_JSON_DIR/
-    <name>.json`` (directory created on demand, default
-    ``benchmarks/results``).  Returns the path written.
+    Placement policy (benchmarks/check_artifacts.py enforces it in CI):
+
+    * ``BENCH_*`` names are the tracked acceptance artifacts — they go to
+      the **repository root** (``BENCH_compile.json`` next to
+      ``BENCH_inline.json``/``BENCH_vectorize.json``);
+    * everything else goes to ``benchmarks/results/``;
+    * ``$REPRO_BENCH_JSON_DIR`` overrides the directory, ``path`` overrides
+      everything.
+
+    Both defaults are anchored at the repo root, not the process CWD.
+    Returns the path written.
     """
     if path is None:
-        out_dir = os.environ.get("REPRO_BENCH_JSON_DIR", os.path.join("benchmarks", "results"))
+        out_dir = os.environ.get("REPRO_BENCH_JSON_DIR")
+        if out_dir is None:
+            if name.startswith("BENCH_"):
+                out_dir = _REPO_ROOT
+            else:
+                out_dir = os.path.join(_REPO_ROOT, "benchmarks", "results")
         os.makedirs(out_dir, exist_ok=True)
         path = os.path.join(out_dir, "%s.json" % name)
     with open(path, "w") as fh:

@@ -51,6 +51,7 @@ class CodeObject:
     __slots__ = (
         "code", "consts", "names", "feedback", "feedback_slots", "lines", "name",
         "backedge_count", "osr_disabled", "deopt_count", "deopt_sites",
+        "stable_hash",
     )
 
     def __init__(self, name: str = "<code>"):
@@ -69,6 +70,8 @@ class CodeObject:
         #: per-site deopt counters; repeatedly failing sites stop being
         #: re-speculated by the compiler
         self.deopt_sites: Dict[int, int] = {}
+        #: memoized content hash (jit/codecache.stable_code_hash)
+        self.stable_hash: Optional[str] = None
 
     def seal_feedback(self) -> None:
         """Preallocate one feedback object per profiling site.
@@ -155,10 +158,14 @@ def is_effect_free(node: A.Node) -> bool:
 class Compiler:
     """Compiles one compilation unit; nested functions recurse."""
 
-    _gensym_counter = 0
-
     def __init__(self, name: str = "<code>"):
         self.co = CodeObject(name)
+        #: per-unit hidden-name counter.  Deliberately NOT process-global:
+        #: compiling the same source twice must yield byte-identical units
+        #: (incl. the hidden ``.fs1``/``.fi3`` loop variables) so that the
+        #: content-addressed code cache can share compiled code across
+        #: re-evaluations (jit/codecache.py)
+        self._gensym_counter = 0
         #: stack of (break_patch_list, next_target_pc, entry_depth)
         self.loops: List[Tuple[List[int], int, int]] = []
         #: statically tracked operand stack depth at the current emit point;
@@ -186,10 +193,9 @@ class Compiler:
     def here(self) -> int:
         return len(self.co.code)
 
-    @classmethod
-    def gensym(cls, prefix: str) -> str:
-        cls._gensym_counter += 1
-        return ".%s%d" % (prefix, cls._gensym_counter)
+    def gensym(self, prefix: str) -> str:
+        self._gensym_counter += 1
+        return ".%s%d" % (prefix, self._gensym_counter)
 
     # -- entry points -------------------------------------------------------------
 

@@ -59,8 +59,23 @@ class ReasonPayload:
             and self.observed_identity is other.observed_identity
         )
 
-    def __hash__(self):  # pragma: no cover - not used as dict key in hot paths
+    def __hash__(self):
+        # identity-hashed: payloads pinning different runtime objects must
+        # not collide as cache-key components (jit/codecache.py)
         return hash((self.kind, self.observed_type, id(self.observed_identity)))
+
+    def stable_parts(self, stable_ref) -> tuple:
+        """World-independent rendering for stable cache digests.
+
+        ``stable_ref`` maps the pinned identity (a closure or builtin) to a
+        name-based reference; it raises
+        :class:`~repro.jit.codecache.Unstable` when none exists.
+        """
+        ident = (
+            stable_ref(self.observed_identity)
+            if self.observed_identity is not None else None
+        )
+        return (self.kind.name, self.observed_type, ident)
 
     def specificity(self) -> int:
         """Lattice-depth proxy used to linearize the dispatch table."""
@@ -137,8 +152,21 @@ class DeoptContext:
             and self.env_types == other.env_types
         )
 
-    def __hash__(self):  # pragma: no cover
-        return hash((self.pc, self.depth, self.reason.kind, self.stack_types, self.env_types))
+    def __hash__(self):
+        # contexts are dict keys in the code cache (jit/codecache.py): a
+        # continuation is cached under its full dispatch context
+        return hash((self.pc, self.depth, self.reason, self.stack_types, self.env_types))
+
+    def stable_parts(self, stable_ref) -> tuple:
+        """World-independent rendering for stable cache digests (the
+        identity in the reason payload becomes a name-based reference)."""
+        return (
+            self.pc,
+            self.depth,
+            self.reason.stable_parts(stable_ref),
+            self.stack_types,
+            self.env_types,
+        )
 
     # -- heuristics -----------------------------------------------------------------
 

@@ -93,12 +93,35 @@ def _recompile(vm, fun: NativeCode, ctx: DeoptContext) -> bool:
 
 
 def deoptless_compile(vm, fs: FrameState, reason: DeoptReason, ctx: DeoptContext) -> Optional[NativeCode]:
-    """``deoptlessCompile``: build a specialized continuation for ``ctx``."""
+    """``deoptlessCompile``: build a specialized continuation for ``ctx``.
+
+    The code cache is consulted first: the key is the code's content hash,
+    the full dispatch context (pc, depth, reason payload, stack/env types)
+    and the *repaired* feedback signature — everything the builder below
+    reads — so a repeat context (same mis-speculation in a sibling closure,
+    a re-evaluated program, or a restarted VM via the warm-start store)
+    recovers in O(lookup) instead of O(pipeline), skipping IR construction,
+    verification and lowering wholesale.
+    """
     code = fs.code
     if vm.config.deoptless_feedback_repair:
         feedback = repair_feedback(code, reason, ctx)
     else:
         feedback = code.feedback
+
+    key = None
+    if vm.code_cache is not None:
+        from ..jit import codecache
+
+        key = codecache.continuation_key(code, ctx, vm.config, feedback)
+        template = vm.code_cache.lookup(key, vm, code)
+        if template is not None:
+            ncode = template.clone_for_install()
+            ncode.closure = fs.fun
+            vm.state.emit("codecache_hit", code.name, unit="cont", pc=fs.pc,
+                          size=ncode.size)
+            return ncode
+
     injected = {}
     if isinstance(reason.observed, RType):
         injected[reason.pc] = reason.observed
@@ -122,6 +145,8 @@ def deoptless_compile(vm, fs: FrameState, reason: DeoptReason, ctx: DeoptContext
     ncode.closure = fs.fun
     ncode.is_deoptless_continuation = True
     ncode.deoptless_ctx = ctx
+    if key is not None:
+        vm.code_cache.insert(key, ncode, vm, code)
     vm.state.deoptless_compiles += 1
     vm.state.compiles += 1
     vm.state.compiled_instrs += ncode.size

@@ -1,0 +1,625 @@
+"""Context-keyed code cache.
+
+Deoptless puts compilation on the deopt critical path: every mis-speculation
+that misses the dispatch table synchronously compiles a specialized
+continuation, and every tier-up stalls the interpreter (paper section 5.4 /
+Figure 11 measure exactly this reoptimization cost).  "On-Stack Replacement
+a la Carte" observes that OSR machinery cost is dominated by *redundant code
+version generation*: identical (code, context) pairs are recompiled from
+scratch per closure and per process.
+
+This module amortizes that. A compiled unit is cached under a key that
+captures **everything the pipeline reads**:
+
+* a *stable hash* of the ``CodeObject`` — instruction stream, const pool,
+  names, and (for function-entry compiles) the formals with their default
+  thunks.  The hash is content-based, so closures created by re-evaluating
+  the same source (fresh ``CodeObject`` instances) share compiled code;
+* the *speculation context*: a count-insensitive signature of the type
+  feedback the builder speculates on (observed kind sets, scalarity, NA
+  bits, branch bias, call targets), the set of deopt-blocked sites, and —
+  recursively, up to the inline depth bound — the signatures of monomorphic
+  callees the inliner would splice;
+* for deoptless continuations, the :class:`DeoptContext` itself (target pc,
+  frame depth, reason payload, stack/env types);
+* the ``Config`` flags that change lowering output.
+
+Keys come in two strengths.  The **exact** key pins runtime objects (call
+targets, feedback-observed closures) by identity — cheap and always correct
+within one world of objects.  The **stable** key replaces identities with
+world-independent references (global name + content hash), which is what
+makes cache entries shareable across re-evaluated programs and across
+processes (see :mod:`repro.jit.persist` for the serialized form).
+
+Eviction is LRU by a compiled-instruction budget.  Invalidation hooks fire
+when a real deoptimization widens a function's profile (feedback repair /
+``deopt_sites`` bumps change every future key for that code, so the old
+entries can never be requested again and are dropped eagerly).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from ..bytecode.compiler import CodeObject
+from ..bytecode.feedback import (
+    BinopFeedback,
+    BranchFeedback,
+    CallFeedback,
+    ObservedType,
+)
+from ..deoptless.context import DeoptContext
+from ..runtime.rtypes import RType
+from ..runtime.values import NULL, RBuiltin, RClosure, RNull, RVector
+
+#: sites with this many deopts stop being re-speculated (mirrors
+#: ir/builder.MAX_SITE_DEOPTS without importing the builder — import cycle)
+MAX_SITE_DEOPTS = 3
+
+
+class Ident:
+    """Identity wrapper: keys a runtime object by ``is``, keeping it alive.
+
+    The cached code embeds the very object (e.g. a ``GIDENT`` guard against
+    a specific closure), so keying by identity is exact; because the cache
+    entry strongly references the key, the object cannot be collected and
+    its identity cannot be recycled while the entry lives.
+    """
+
+    __slots__ = ("obj",)
+
+    def __init__(self, obj: Any):
+        self.obj = obj
+
+    def __hash__(self) -> int:
+        return id(self.obj)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Ident) and other.obj is self.obj
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<id %s>" % getattr(self.obj, "name", self.obj)
+
+
+# ---------------------------------------------------------------------------
+# stable content hashing
+# ---------------------------------------------------------------------------
+
+def _canon(value: Any, out: list) -> None:
+    """Append a canonical, process-independent rendering of ``value``."""
+    if value is None:
+        out.append("N")
+    elif value is NULL or isinstance(value, RNull):
+        out.append("null")
+    elif isinstance(value, bool):
+        out.append("b%d" % value)
+    elif isinstance(value, int):
+        out.append("i%d" % value)
+    elif isinstance(value, float):
+        out.append("f%r" % value)
+    elif isinstance(value, complex):
+        out.append("c%r:%r" % (value.real, value.imag))
+    elif isinstance(value, str):
+        out.append("s%d:%s" % (len(value), value))
+    elif isinstance(value, (tuple, list)):
+        out.append("(")
+        for v in value:
+            _canon(v, out)
+        out.append(")")
+    elif isinstance(value, RVector):
+        out.append("v%s[" % value.kind.name)
+        for v in value.data:
+            _canon(v, out)
+        out.append("]")
+    elif isinstance(value, CodeObject):
+        out.append("C" + stable_code_hash(value))
+    elif isinstance(value, RType):
+        out.append("T%s%d%d" % (value.kind.name, value.scalar, value.maybe_na))
+    else:
+        # enums and other value-like leaves: kind-qualified repr
+        out.append("O%s:%r" % (type(value).__name__, value))
+
+
+def stable_code_hash(code: CodeObject) -> str:
+    """Content hash of a compilation unit, stable across processes.
+
+    Memoized on the ``CodeObject`` (instruction streams are immutable after
+    ``seal_feedback``).  Two units compiled from the same source text hash
+    identically — ``Compiler.gensym`` is deterministic per unit, so even the
+    hidden loop variables agree.
+    """
+    h = code.stable_hash
+    if h is not None:
+        return h
+    # the unit NAME is deliberately excluded: it is display metadata, and
+    # including it would stop `f <- function(x) ...` and `g <- function(x)
+    # ...` with identical bodies from sharing compiled code
+    out: list = ["code:"]
+    for ins in code.code:
+        _canon(ins, out)
+    out.append("|consts|")
+    for c in code.consts:
+        _canon(c, out)
+    out.append("|names|")
+    for n in code.names:
+        out.append(n)
+        out.append(",")
+    h = hashlib.sha256("".join(out).encode("utf-8", "surrogatepass")).hexdigest()
+    code.stable_hash = h
+    return h
+
+
+def stable_closure_hash(closure: RClosure) -> str:
+    """Body hash extended with the formals (names + default thunks): two
+    functions with identical bodies but different defaults must not share."""
+    out: list = ["clo:", stable_code_hash(closure.code), ";"]
+    for name, default in closure.formals:
+        out.append(name)
+        out.append("=")
+        out.append(stable_code_hash(default) if default is not None else "_")
+        out.append(",")
+    return hashlib.sha256("".join(out).encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# speculation-context signatures (what the optimizer reads from feedback)
+# ---------------------------------------------------------------------------
+
+def _target_ref(t: Any) -> Any:
+    if isinstance(t, RBuiltin):
+        return ("builtin", t.name)
+    return Ident(t)
+
+
+def _slot_sig(fb: Any) -> Optional[tuple]:
+    """Decision-relevant bits of one feedback slot; None when the slot is
+    empty (a preallocated slot that never recorded is the same as absent)."""
+    if isinstance(fb, ObservedType):
+        if fb.count == 0:
+            return None
+        return (
+            "t",
+            tuple(sorted(k.name for k in fb.kinds)),
+            fb.all_scalar,
+            fb.saw_na,
+            fb.stale,
+        )
+    if isinstance(fb, BinopFeedback):
+        lhs, rhs = _slot_sig(fb.lhs), _slot_sig(fb.rhs)
+        if lhs is None and rhs is None and not fb.stale:
+            return None
+        return ("2", lhs, rhs, fb.stale)
+    if isinstance(fb, BranchFeedback):
+        if not fb.taken and not fb.not_taken and not fb.stale:
+            return None
+        return ("br", fb.taken > 0, fb.not_taken > 0, fb.stale)
+    if isinstance(fb, CallFeedback):
+        if fb.count == 0 and not fb.targets and not fb.megamorphic:
+            return None
+        return (
+            "call",
+            tuple(_target_ref(t) for t in fb.targets),
+            fb.megamorphic,
+            fb.stale,
+        )
+    return None
+
+
+def _blocked_sites(code: CodeObject) -> tuple:
+    return tuple(sorted(
+        pc for pc, n in code.deopt_sites.items() if n >= MAX_SITE_DEOPTS
+    ))
+
+
+def feedback_signature(
+    code: CodeObject,
+    config,
+    feedback: Optional[Dict[int, Any]] = None,
+    _depth: int = 0,
+    _seen: Optional[frozenset] = None,
+) -> tuple:
+    """Count-insensitive signature of everything codegen reads from the
+    profile of ``code`` — recursing into monomorphic closure callees (their
+    bodies get spliced by the inliner, so their profiles are inputs too)."""
+    fb_map = feedback if feedback is not None else code.feedback
+    slots = []
+    calls = []
+    recurse = (
+        getattr(config, "inline", False)
+        and _depth <= getattr(config, "inline_max_depth", 0)
+    )
+    seen = _seen or frozenset()
+    for pc in sorted(fb_map):
+        fb = fb_map[pc]
+        sig = _slot_sig(fb)
+        if sig is None:
+            continue
+        slots.append((pc, sig))
+        if (
+            recurse
+            and isinstance(fb, CallFeedback)
+            and len(fb.targets) == 1
+            and not fb.megamorphic
+            and not fb.stale
+            and isinstance(fb.targets[0], RClosure)
+        ):
+            callee = fb.targets[0]
+            if id(callee.code) not in seen:
+                calls.append((pc, feedback_signature(
+                    callee.code, config,
+                    _depth=_depth + 1,
+                    _seen=seen | {id(callee.code)},
+                )))
+    return (tuple(slots), _blocked_sites(code), tuple(calls))
+
+
+def config_key(config) -> tuple:
+    """The Config flags that change what the pipeline emits."""
+    return (
+        config.enable_speculation,
+        config.enable_cold_branch_speculation,
+        config.vectorize,
+        config.inline,
+        config.inline_max_size,
+        config.inline_max_depth,
+        config.inline_budget,
+        config.unsound_drop_deopt_exits,
+        config.unsound_continuation_escape,
+        config.deoptless_feedback_repair,
+    )
+
+
+# ---------------------------------------------------------------------------
+# cache keys
+# ---------------------------------------------------------------------------
+
+def _formals_sig(closure: RClosure) -> tuple:
+    return tuple(
+        (name, stable_code_hash(d) if d is not None else None)
+        for name, d in closure.formals
+    )
+
+
+def entry_key(closure: RClosure, config, feedback: Optional[Dict[int, Any]] = None) -> tuple:
+    """Key for a whole-function (tier-up) compile of ``closure``.
+
+    ``key[1]`` is always the plain body-code hash (the invalidation and
+    disk-bucket tag — see :func:`key_code_hash`); the formals ride along as
+    their own component, since two functions with identical bodies but
+    different defaults must not share compiled code.
+    """
+    return (
+        "fn",
+        stable_code_hash(closure.code),
+        _formals_sig(closure),
+        feedback_signature(closure.code, config, feedback),
+        config_key(config),
+    )
+
+
+def continuation_key(code: CodeObject, ctx: DeoptContext, config,
+                     feedback: Optional[Dict[int, Any]] = None) -> tuple:
+    """Key for a deoptless continuation: the dispatch context (pc, depth,
+    reason payload, stack/env types) plus the repaired-feedback signature."""
+    return (
+        "cont",
+        stable_code_hash(code),
+        ctx,
+        feedback_signature(code, config, feedback),
+        config_key(config),
+    )
+
+
+def osr_key(code: CodeObject, closure: Optional[RClosure], pc: int,
+            var_types: Dict[str, RType], config) -> tuple:
+    """Key for an OSR-in continuation (loop head -> function end)."""
+    formals = _formals_sig(closure) if closure is not None else "top"
+    return (
+        "osr",
+        stable_code_hash(code),
+        formals,
+        pc,
+        tuple(sorted(var_types.items())),
+        feedback_signature(code, config),
+        config_key(config),
+    )
+
+
+def key_code_hash(key: tuple) -> str:
+    """The content-hash tag a key files under (used for invalidation and for
+    naming the on-disk artifact bucket)."""
+    return key[1]
+
+
+# ---------------------------------------------------------------------------
+# stable (world-independent) key digests
+# ---------------------------------------------------------------------------
+
+class Unstable(Exception):
+    """Raised while stabilizing a key/entry that pins a runtime object with
+    no world-independent name (e.g. a non-global closure)."""
+
+
+class WorldResolver:
+    """Maps runtime identities <-> world-independent references.
+
+    A closure is *stable* when it is bound to a global name and its content
+    hash pins it; a builtin is stable by name.  Resolution is best-effort by
+    design: an unresolvable reference simply keeps the entry world-local.
+    """
+
+    def __init__(self, vm):
+        self.vm = vm
+        self._names: Optional[Dict[int, str]] = None
+
+    def _global_name(self, obj: Any) -> Optional[str]:
+        if self._names is None:
+            self._names = {}
+            for name, value in self.vm.global_env.bindings.items():
+                self._names.setdefault(id(value), name)
+        return self._names.get(id(obj))
+
+    def stable_ref(self, obj: Any) -> tuple:
+        if isinstance(obj, RBuiltin):
+            return ("builtin", obj.name)
+        if isinstance(obj, RClosure):
+            name = self._global_name(obj)
+            if name is None:
+                raise Unstable("closure %r is not a global" % obj.name)
+            return ("clo", name, stable_closure_hash(obj))
+        raise Unstable("no stable reference for %r" % (obj,))
+
+    def resolve_ref(self, ref: tuple) -> Any:
+        if ref[0] == "builtin":
+            fn = self.vm.base_env.bindings.get(ref[1])
+            if not isinstance(fn, RBuiltin):
+                raise Unstable("builtin %s not found" % ref[1])
+            return fn
+        if ref[0] == "clo":
+            obj = self.vm.global_env.bindings.get(ref[1])
+            if not isinstance(obj, RClosure) or stable_closure_hash(obj) != ref[2]:
+                raise Unstable("global %s does not match" % ref[1])
+            return obj
+        raise Unstable("bad reference %r" % (ref,))
+
+
+def _stabilize(value: Any, resolver: WorldResolver, out: list) -> None:
+    """Canonicalize one key component, replacing identities with stable
+    references; raises :class:`Unstable` when that is impossible."""
+    if isinstance(value, Ident):
+        _canon(resolver.stable_ref(value.obj), out)
+    elif isinstance(value, DeoptContext):
+        out.append("ctx(")
+        _canon(value.stable_parts(resolver.stable_ref), out)
+        out.append(")")
+    elif isinstance(value, (tuple, list)):
+        out.append("(")
+        for v in value:
+            _stabilize(v, resolver, out)
+        out.append(")")
+    else:
+        _canon(value, out)
+
+
+def stable_digest(key: tuple, resolver: WorldResolver) -> Optional[str]:
+    """World-independent digest of ``key``, or None when the key pins an
+    object that has no stable name in this world."""
+    out: list = []
+    try:
+        _stabilize(key, resolver, out)
+    except Unstable:
+        return None
+    return hashlib.sha256("".join(out).encode("utf-8", "surrogatepass")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# the cache
+# ---------------------------------------------------------------------------
+
+class CacheEntry:
+    __slots__ = ("key", "ncode", "size", "code_hash", "root_code", "hits")
+
+    def __init__(self, key: tuple, ncode, size: int, code_hash: str, root_code):
+        self.key = key
+        self.ncode = ncode
+        self.size = size
+        self.code_hash = code_hash
+        #: the CodeObject the unit was compiled from.  Exact (L1) hits are
+        #: restricted to this identity: the compiled unit's deopt descriptors
+        #: reference it, so serving it to a content-identical-but-distinct
+        #: CodeObject would misattribute profile updates.  Those claimants go
+        #: through the stable layer, which rebinds code references.
+        self.root_code = root_code
+        self.hits = 0
+
+
+class CodeCache:
+    """Context-keyed cache of lowered compilation units.
+
+    Two layers:
+
+    * ``entries`` — exact-keyed templates, LRU-ordered, bounded by a
+      compiled-instruction ``budget``;
+    * ``stable_bytes`` — serialized (world-independent) forms keyed by
+      stable digest, merged with the on-disk artifact store when a
+      persistence directory is configured.  A stable hit is rebound to the
+      current world's objects and admitted as an exact entry.
+    """
+
+    def __init__(self, config):
+        self.budget = config.codecache_budget
+        self.dir = config.codecache_dir
+        self.entries: "OrderedDict[tuple, CacheEntry]" = OrderedDict()
+        self.total_size = 0
+        self.stable_bytes: Dict[str, bytes] = {}
+        #: digest -> code-hash bucket the serialized entry files under
+        self.bucket_of: Dict[str, str] = {}
+        self._disk_digests: set = set()
+        self._loaded_buckets: set = set()
+        self._dirty_buckets: set = set()
+        #: keys whose IR was verified when first compiled (the "verify once
+        #: per distinct key" satellite: hits skip build/verify/lower wholesale)
+        self.verified: set = set()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, key: tuple, vm, root_code: CodeObject):
+        """Template for ``key`` or None.  Probes exact entries, then the
+        stable layer (memory, then disk), rebinding stable hits into the
+        current world."""
+        entry = self.entries.get(key)
+        if entry is not None and entry.root_code is root_code:
+            self.entries.move_to_end(key)
+            entry.hits += 1
+            vm.state.codecache_hits += 1
+            vm.state.codecache_instrs_saved += entry.size
+            return entry.ncode
+
+        tmpl = self._stable_lookup(key, vm, root_code)
+        if tmpl is not None:
+            return tmpl
+        vm.state.codecache_misses += 1
+        return None
+
+    def _stable_lookup(self, key: tuple, vm, root_code: CodeObject):
+        resolver = WorldResolver(vm)
+        digest = stable_digest(key, resolver)
+        if digest is None:
+            return None
+        data = self.stable_bytes.get(digest)
+        if data is None and self.dir:
+            self._load_bucket(key_code_hash(key))
+            data = self.stable_bytes.get(digest)
+        if data is None:
+            return None
+        from . import persist
+
+        try:
+            tmpl = persist.deserialize(data, root_code, resolver)
+        except (Unstable, persist.PersistError):
+            vm.state.codecache_persist_failures += 1
+            return None
+        self._admit(key, tmpl, vm, root_code)
+        if digest in self._disk_digests:
+            vm.state.codecache_disk_hits += 1
+        else:
+            vm.state.codecache_stable_hits += 1
+        vm.state.codecache_instrs_saved += tmpl.size
+        return tmpl
+
+    # -- insert / eviction ----------------------------------------------------
+
+    def insert(self, key: tuple, ncode, vm, root_code: CodeObject,
+               verified: bool = True) -> None:
+        self._admit(key, ncode, vm, root_code)
+        if verified:
+            self.verified.add(key)
+        self._stable_insert(key, ncode, vm, root_code)
+
+    def _admit(self, key: tuple, ncode, vm, root_code: CodeObject) -> None:
+        old = self.entries.pop(key, None)
+        if old is not None:
+            self.total_size -= old.size
+        entry = CacheEntry(key, ncode, ncode.size, key_code_hash(key), root_code)
+        self.entries[key] = entry
+        self.total_size += entry.size
+        while self.total_size > self.budget and self.entries:
+            _, evicted = self.entries.popitem(last=False)
+            self.total_size -= evicted.size
+            vm.state.codecache_evictions += 1
+            vm.state.emit("codecache_evict", evicted.ncode.name,
+                          size=evicted.size, hits=evicted.hits)
+
+    def _stable_insert(self, key: tuple, ncode, vm, root_code: CodeObject) -> None:
+        resolver = WorldResolver(vm)
+        digest = stable_digest(key, resolver)
+        if digest is None:
+            return
+        from . import persist
+
+        try:
+            data = persist.serialize(ncode, root_code, resolver)
+        except Unstable:
+            return
+        except persist.PersistError:
+            vm.state.codecache_persist_failures += 1
+            return
+        self.stable_bytes[digest] = data
+        bucket = key_code_hash(key)
+        self.bucket_of[digest] = bucket
+        self._dirty_buckets.add(bucket)
+
+    # -- invalidation ---------------------------------------------------------
+
+    def invalidate_code(self, code: CodeObject, vm=None) -> int:
+        """Drop every exact entry derived from ``code``'s content.
+
+        Called when a real deoptimization widens the profile of ``code``
+        (feedback repair injects the observed type and ``deopt_sites``
+        records the failure): every future key for this code differs, so the
+        old entries are unreachable dead weight.
+        """
+        h = stable_code_hash(code)
+        doomed = [k for k, e in self.entries.items() if e.code_hash == h]
+        for k in doomed:
+            entry = self.entries.pop(k)
+            self.total_size -= entry.size
+        if doomed and vm is not None:
+            vm.state.codecache_invalidations += len(doomed)
+            vm.state.emit("codecache_invalidate", code.name, entries=len(doomed))
+        return len(doomed)
+
+    # -- persistence ----------------------------------------------------------
+
+    def _load_bucket(self, code_hash: str) -> None:
+        if not self.dir or code_hash in self._loaded_buckets:
+            return
+        self._loaded_buckets.add(code_hash)
+        from . import persist
+
+        for digest, data in persist.load_bucket(self.dir, code_hash).items():
+            if digest not in self.stable_bytes:
+                self.stable_bytes[digest] = data
+                self.bucket_of[digest] = code_hash
+                self._disk_digests.add(digest)
+
+    def save(self) -> int:
+        """Flush dirty stable entries to the artifact directory; returns the
+        number of buckets written."""
+        if not self.dir or not self._dirty_buckets:
+            return 0
+        from . import persist
+
+        written = 0
+        for bucket in sorted(self._dirty_buckets):
+            payload = {
+                digest: data
+                for digest, data in self.stable_bytes.items()
+                if self.bucket_of.get(digest) == bucket
+            }
+            if payload:
+                persist.save_bucket(self.dir, bucket, payload)
+                written += 1
+        self._dirty_buckets.clear()
+        return written
+
+    # -- introspection --------------------------------------------------------
+
+    def describe(self) -> str:
+        lines = [
+            "code cache: %d entries, %d/%d instrs, %d stable forms (%d from disk)"
+            % (len(self.entries), self.total_size, self.budget,
+               len(self.stable_bytes), len(self._disk_digests)),
+        ]
+        for entry in self.entries.values():
+            kind = entry.key[0]
+            lines.append(
+                "  [%-4s] %-24s size=%-4d hits=%d" %
+                (kind, entry.ncode.name[:24], entry.size, entry.hits)
+            )
+        return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""Background tier-up: take compilation off the interpreter's critical path.
+
+``RVM.maybe_tier_up`` routes through here.  Three modes
+(``Config.tierup_mode`` / ``RERPO_TIERUP``):
+
+* ``sync`` (default) — compile inline, exactly the pre-queue behaviour.
+  Forced under ``RERPO_REF_EXEC=1``: the reference-executor leg asserts
+  bit-identical telemetry, so it must not depend on drain timing.
+* ``step`` — enqueue; nothing compiles until :meth:`CompileQueue.drain` is
+  called with an instruction budget.  Deterministic by construction (the
+  caller decides when compile pauses happen), which is what the tests and
+  the budgeted-drain experiments use.
+* ``bg`` — a daemon worker thread runs the pipeline over a *feedback
+  snapshot* taken at enqueue time; finished code is staged and installed on
+  the main thread at the next closure call.  The bytecode tier keeps running
+  (and profiling) the whole time, so a compile pause never stalls execution.
+
+In every mode the code cache is consulted *before* a request is queued or
+compiled — a context that was compiled before installs in O(lookup).
+
+Telemetry discipline: the worker thread only builds graphs; all counter
+bumps and events happen on the main thread at install time, keeping event
+order deterministic for equal workloads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, List, Optional, Tuple
+
+
+class CompileRequest:
+    __slots__ = ("closure", "feedback", "seq")
+
+    def __init__(self, closure, feedback, seq: int):
+        self.closure = closure
+        #: snapshot of the per-pc profile at enqueue time (bg mode compiles
+        #: from this, immune to concurrent interpreter mutation)
+        self.feedback = feedback
+        self.seq = seq
+
+
+class CompileQueue:
+    """FIFO of tier-up requests with pluggable drain policy."""
+
+    def __init__(self, vm):
+        self.vm = vm
+        self.mode = vm.config.tierup_mode
+        self.pending: "deque[CompileRequest]" = deque()
+        self.queued_ids: set = set()
+        #: (request, ncode-or-None) built by the worker, awaiting install
+        self.ready: "deque[Tuple[CompileRequest, Any]]" = deque()
+        self.lock = threading.Lock()
+        self.wake = threading.Condition(self.lock)
+        self.idle = threading.Condition(self.lock)
+        self.worker: Optional[threading.Thread] = None
+        self.stopping = False
+        self._seq = 0
+        #: requests popped by the worker but not yet staged to ``ready``
+        self.inflight = 0
+
+    def __len__(self) -> int:
+        return len(self.pending)
+
+    # ------------------------------------------------------------------
+    # enqueue (main thread)
+    # ------------------------------------------------------------------
+
+    def request(self, closure, st):
+        """Tier-up request for ``closure``.  Returns the installed NativeCode
+        when compilation happened synchronously, else None (queued)."""
+        if self.mode == "sync":
+            return self.vm.compile_closure(closure)
+        if id(closure) in self.queued_ids:
+            return None
+        snapshot = {
+            pc: fb.copy() for pc, fb in closure.code.feedback.items()
+        }
+        self._seq += 1
+        req = CompileRequest(closure, snapshot, self._seq)
+        with self.lock:
+            self.pending.append(req)
+            self.queued_ids.add(id(closure))
+            self.wake.notify()
+        self.vm.state.tierup_enqueues += 1
+        self.vm.state.emit("tierup_enqueue", closure.name, mode=self.mode,
+                           queue_depth=len(self.pending))
+        if self.mode == "bg":
+            self._ensure_worker()
+        return None
+
+    # ------------------------------------------------------------------
+    # drain (step mode / tests; also used by bg install path)
+    # ------------------------------------------------------------------
+
+    def drain(self, budget: Optional[int] = None) -> int:
+        """Compile+install queued requests until ``budget`` compiled
+        instructions are spent (default ``Config.tierup_drain_budget``;
+        pass 0 for unbounded).  Returns the number of installs."""
+        if budget is None:
+            budget = self.vm.config.tierup_drain_budget
+        installed = 0
+        spent = 0
+        while True:
+            with self.lock:
+                if not self.pending:
+                    break
+                req = self.pending.popleft()
+                self.queued_ids.discard(id(req.closure))
+            ncode = self._finish(req, self._build(req))
+            if ncode is not None:
+                installed += 1
+                spent += ncode.size
+                if budget and spent >= budget:
+                    break
+        return installed
+
+    def _build(self, req: CompileRequest):
+        """Run the pipeline for one request; returns NativeCode or None.
+        Never raises — failures are recorded against the closure state."""
+        from ..ir.builder import CompilationFailure
+
+        st = self.vm.jit_state(req.closure)
+        if st.version is not None:
+            self.vm.state.tierup_drops += 1  # superseded while queued
+            return None
+        if st.cant_compile:
+            return None
+        try:
+            return self.vm.build_native(req.closure, feedback_override=req.feedback)
+        except CompilationFailure as e:
+            st.cant_compile = True
+            self.vm.state.compile_failures += 1
+            self.vm.state.emit("compile_failed", req.closure.name, error=str(e))
+            return None
+
+    def _finish(self, req: CompileRequest, ncode):
+        """Install a built unit (main thread): cache insert + telemetry."""
+        st = self.vm.jit_state(req.closure)
+        if ncode is None or st.version is not None or st.cant_compile:
+            if ncode is not None:
+                self.vm.state.tierup_drops += 1
+            return None
+        self.vm.install_compiled(req.closure, st, ncode, feedback=req.feedback)
+        self.vm.state.tierup_installs += 1
+        return st.version
+
+    # ------------------------------------------------------------------
+    # background worker (bg mode)
+    # ------------------------------------------------------------------
+
+    def _ensure_worker(self) -> None:
+        if self.worker is not None and self.worker.is_alive():
+            return
+        self.worker = threading.Thread(
+            target=self._worker_loop, name="repro-tierup", daemon=True
+        )
+        self.worker.start()
+
+    def _worker_loop(self) -> None:  # pragma: no cover - timing dependent
+        while True:
+            with self.lock:
+                while not self.pending and not self.stopping:
+                    self.idle.notify_all()
+                    self.wake.wait(timeout=0.5)
+                if self.stopping:
+                    return
+                req = self.pending.popleft()
+                self.queued_ids.discard(id(req.closure))
+                self.inflight += 1
+            ncode = None
+            for _ in range(3):
+                try:
+                    ncode = self._build(req)
+                    break
+                except RuntimeError:
+                    # the interpreter mutated a callee's feedback set under
+                    # us mid-iteration; retry from a fresh read
+                    continue
+            with self.lock:
+                self.ready.append((req, ncode))
+                self.inflight -= 1
+                self.idle.notify_all()
+            self.vm.queue_ready = True
+
+    def install_ready(self) -> int:
+        """Main-thread install point for worker-built code."""
+        installed = 0
+        while True:
+            with self.lock:
+                if not self.ready:
+                    self.vm.queue_ready = False
+                    break
+                req, ncode = self.ready.popleft()
+            if self._finish(req, ncode) is not None:
+                installed += 1
+        return installed
+
+    def join(self, timeout: float = 5.0) -> bool:
+        """Wait until the worker has no pending/unstaged work (tests)."""
+        if self.mode != "bg":
+            return not self.pending
+        with self.lock:
+            while self.pending or self.inflight:
+                if not self.idle.wait(timeout=timeout):  # pragma: no cover
+                    return False
+        return True

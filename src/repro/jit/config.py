@@ -24,6 +24,28 @@ def _inline_default() -> bool:
     return os.environ.get("RERPO_INLINE", os.environ.get("REPRO_INLINE", "1")) != "0"
 
 
+def _codecache_default() -> bool:
+    """The context-keyed code cache is on by default; ``RERPO_CODECACHE=0``
+    disables it (CI covers the always-recompile path with this leg)."""
+    return os.environ.get("RERPO_CODECACHE", os.environ.get("REPRO_CODECACHE", "1")) != "0"
+
+
+def _codecache_dir_default():
+    """Warm-start artifact directory; unset disables persistence."""
+    return os.environ.get("RERPO_CODECACHE_DIR", os.environ.get("REPRO_CODECACHE_DIR")) or None
+
+
+def _tierup_default() -> str:
+    """Tier-up drain mode: ``sync`` (compile inline), ``step`` (explicit
+    budgeted drain) or ``bg`` (worker thread).  ``RERPO_REF_EXEC=1`` forces
+    ``sync`` — the reference-executor leg asserts bit-identical telemetry,
+    which must not depend on drain timing."""
+    if os.environ.get("RERPO_REF_EXEC", os.environ.get("REPRO_REF_EXEC", "0")) == "1":
+        return "sync"
+    mode = os.environ.get("RERPO_TIERUP", os.environ.get("REPRO_TIERUP", "sync"))
+    return mode if mode in ("sync", "step", "bg") else "sync"
+
+
 @dataclass
 class Config:
     # -- execution engine --------------------------------------------------------
@@ -65,6 +87,24 @@ class Config:
     inline_max_depth: int = 3
     #: cost model: total callee bytecode ops inlined per compilation unit
     inline_budget: int = 200
+
+    # -- compilation subsystem (jit/codecache.py, jit/compile_queue.py) -----------
+    #: context-keyed code cache: compiled units are shared across closures
+    #: with content-identical code under the same speculation context, and
+    #: repeat deoptless contexts recover in O(lookup) instead of O(pipeline)
+    codecache: bool = field(default_factory=_codecache_default)
+    #: LRU eviction bound, in cached compiled instructions
+    codecache_budget: int = 100_000
+    #: warm-start artifact directory (``RERPO_CODECACHE_DIR``); None disables
+    #: persistence.  Stable entries are written by ``RVM.save_code_cache()``
+    #: and probed on cache misses.
+    codecache_dir: "str | None" = field(default_factory=_codecache_dir_default)
+    #: how tier-up requests compile: "sync" inline (default), "step" queued
+    #: until an explicit budgeted ``vm.drain_compile_queue()``, "bg" on a
+    #: worker thread with main-thread installs
+    tierup_mode: str = field(default_factory=_tierup_default)
+    #: default compiled-instruction budget per ``drain()`` call (0: unbounded)
+    tierup_drain_budget: int = 2000
 
     # -- deoptless (the paper's contribution) -----------------------------------
     enable_deoptless: bool = False

@@ -1,0 +1,263 @@
+"""Warm-start persistence: world-independent serialization of compiled code.
+
+A :class:`~repro.native.lower.NativeCode` is a flat op stream, but its
+operands embed live runtime objects: guard expectations (``GIDENT`` pins an
+``RClosure``), direct-call targets, builtins, ``CodeObject`` payloads for
+``MKCLOSURE``/``MKPROMISE``, and the deopt descriptors' back-references into
+the bytecode.  Pickling those structurally would freeze one process's object
+graph — useless in a restarted VM and incorrect in a re-evaluated one.
+
+Instead, serialization runs through ``pickle``'s *persistent reference*
+hooks: every runtime identity is replaced by a stable name —
+
+* ``("obj", ("builtin", name))`` — a builtin, by its base-env name;
+* ``("obj", ("clo", name, hash))`` — a closure bound to a global, pinned by
+  its content hash (rebinding or redefinition makes the entry unresolvable,
+  never wrong);
+* ``("code", base, path)`` — a ``CodeObject``, addressed as a const-pool
+  path (through ``MKCLOSURE`` payloads, default thunks and promise thunks)
+  from either the entry's own root unit or a stable global closure's body;
+* ``("null",)`` — the ``RNull`` singleton.
+
+Environments are refused outright (:class:`~repro.jit.codecache.Unstable`):
+an entry that closes over live environment state is world-local by nature.
+
+Deserialization resolves the same references against the *current* world, so
+a cache hit from disk executes against today's objects — the deopt
+descriptors point at the claimant's own ``CodeObject`` (profile updates and
+``deopt_sites`` bumps land where they should), and identity guards pin
+today's closures.  The artifact store is one file per code hash
+(``<dir>/<hh>/<hash>.ccache``) holding a digest→bytes map, merged on save.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import tempfile
+from typing import Any, Dict, Optional, Tuple
+
+from ..bytecode.compiler import CodeObject
+from ..native.lower import NativeCode
+from ..runtime.env import REnvironment
+from ..runtime.values import NULL, RBuiltin, RClosure, RNull
+from .codecache import Unstable, WorldResolver, stable_closure_hash
+
+FORMAT_VERSION = 1
+
+
+class PersistError(Exception):
+    """Artifact could not be written or read back (corrupt, wrong version,
+    reference unresolvable in this world, ...)."""
+
+
+#: NativeCode fields that constitute the replayable lowering output.  The
+#: mutable/per-install fields (closure, invalidated, threaded, pics) are
+#: deliberately excluded and reset on load.
+_NC_FIELDS = (
+    "name", "ops", "n_regs", "reg_init", "deopts", "kernels", "param_regs",
+    "env_reg", "env_elided", "cont_var_names", "cont_stack_size", "entry_pc",
+    "is_continuation", "is_deoptless_continuation", "bc_code",
+)
+
+
+# ---------------------------------------------------------------------------
+# CodeObject <-> const-pool path addressing
+# ---------------------------------------------------------------------------
+
+def _walk_code(code: CodeObject, base: tuple, path: tuple, out: Dict[int, tuple]) -> None:
+    out.setdefault(id(code), (base, path))
+    for i, c in enumerate(code.consts):
+        if isinstance(c, CodeObject):
+            _walk_code(c, base, path + (("const", i),), out)
+        elif isinstance(c, tuple) and len(c) == 3 and isinstance(c[0], CodeObject):
+            # an MK_CLOSURE payload: (body code, formals, name)
+            _walk_code(c[0], base, path + (("payload", i),), out)
+            for j, (_, default) in enumerate(c[1]):
+                if default is not None:
+                    _walk_code(default, base, path + (("default", i, j),), out)
+
+
+def _resolve_path(code: CodeObject, path: tuple) -> CodeObject:
+    for step in path:
+        tag = step[0]
+        try:
+            if tag == "const":
+                code = code.consts[step[1]]
+            elif tag == "payload":
+                code = code.consts[step[1]][0]
+            elif tag == "default":
+                code = code.consts[step[1]][1][step[2]][1]
+            else:
+                raise PersistError("bad code path step %r" % (step,))
+        except (IndexError, TypeError):
+            raise PersistError("dangling code path %r" % (path,))
+    if not isinstance(code, CodeObject):
+        raise PersistError("code path %r resolves to %r" % (path, type(code)))
+    return code
+
+
+# ---------------------------------------------------------------------------
+# pickling with persistent references
+# ---------------------------------------------------------------------------
+
+class _Pickler(pickle.Pickler):
+    def __init__(self, file, root_code: CodeObject, resolver: WorldResolver):
+        super().__init__(file, protocol=4)
+        self.root_code = root_code
+        self.resolver = resolver
+        self._paths: Dict[int, tuple] = {}
+        _walk_code(root_code, ("root",), (), self._paths)
+        self._scanned_globals = False
+
+    def _scan_globals(self) -> None:
+        """Lazily index codes reachable from *stable* global closures (an
+        inlined callee's DeoptDescr references the callee's own unit)."""
+        self._scanned_globals = True
+        for name, obj in self.resolver.vm.global_env.bindings.items():
+            if isinstance(obj, RClosure):
+                try:
+                    ref = self.resolver.stable_ref(obj)
+                except Unstable:
+                    continue
+                _walk_code(obj.code, ref, (), self._paths)
+                for j, (_, default) in enumerate(obj.formals):
+                    if default is not None:
+                        _walk_code(default, ref, (("fdefault", j),), self._paths)
+
+    def persistent_id(self, obj: Any) -> Optional[tuple]:
+        if obj is NULL or isinstance(obj, RNull):
+            return ("null",)
+        if isinstance(obj, (RBuiltin, RClosure)):
+            return ("obj", self.resolver.stable_ref(obj))
+        if isinstance(obj, CodeObject):
+            ref = self._paths.get(id(obj))
+            if ref is None and not self._scanned_globals:
+                self._scan_globals()
+                ref = self._paths.get(id(obj))
+            if ref is None:
+                raise Unstable("code %r has no stable address" % obj.name)
+            return ("code", ref[0], ref[1])
+        if isinstance(obj, REnvironment):
+            raise Unstable("entry references a live environment")
+        return None
+
+
+class _Unpickler(pickle.Unpickler):
+    def __init__(self, file, root_code: CodeObject, resolver: WorldResolver):
+        super().__init__(file)
+        self.root_code = root_code
+        self.resolver = resolver
+
+    def persistent_load(self, ref: tuple) -> Any:
+        tag = ref[0]
+        if tag == "null":
+            return NULL
+        if tag == "obj":
+            return self.resolver.resolve_ref(ref[1])
+        if tag == "code":
+            base, path = ref[1], ref[2]
+            if base == ("root",):
+                code = self.root_code
+            else:
+                owner = self.resolver.resolve_ref(base)
+                if path and path[0][0] == "fdefault":
+                    try:
+                        code = owner.formals[path[0][1]][1]
+                    except (IndexError, TypeError):
+                        raise PersistError("dangling formal default %r" % (path,))
+                    path = path[1:]
+                    if not isinstance(code, CodeObject):
+                        raise PersistError("formal default is not code")
+                else:
+                    code = owner.code
+            return _resolve_path(code, path)
+        raise PersistError("unknown persistent ref %r" % (ref,))
+
+
+def serialize(ncode: NativeCode, root_code: CodeObject, resolver: WorldResolver) -> bytes:
+    """World-independent bytes for ``ncode`` (compiled from ``root_code``).
+
+    Raises :class:`Unstable` when the unit pins an object with no stable
+    name, :class:`PersistError` on any other pickling failure.
+    """
+    state = {f: getattr(ncode, f) for f in _NC_FIELDS}
+    state["deoptless_ctx"] = getattr(ncode, "deoptless_ctx", None)
+    buf = io.BytesIO()
+    try:
+        _Pickler(buf, root_code, resolver).dump((FORMAT_VERSION, state))
+    except Unstable:
+        raise
+    except Exception as e:
+        raise PersistError("serialize failed: %s" % e)
+    return buf.getvalue()
+
+
+def deserialize(data: bytes, root_code: CodeObject, resolver: WorldResolver) -> NativeCode:
+    """Rebuild a template ``NativeCode`` against the current world.
+
+    Raises :class:`Unstable` when a reference does not resolve (global
+    rebound, hash mismatch) and :class:`PersistError` on corrupt input.
+    """
+    try:
+        version, state = _Unpickler(io.BytesIO(data), root_code, resolver).load()
+    except (Unstable, PersistError):
+        raise
+    except Exception as e:
+        raise PersistError("deserialize failed: %s" % e)
+    if version != FORMAT_VERSION:
+        raise PersistError("artifact format %r unsupported" % (version,))
+    nc = NativeCode.__new__(NativeCode)
+    for f in _NC_FIELDS:
+        setattr(nc, f, state[f])
+    nc.closure = None
+    nc.invalidated = False
+    nc.threaded = None
+    nc.pics = {}
+    nc.cache_template = None
+    if state.get("deoptless_ctx") is not None:
+        nc.deoptless_ctx = state["deoptless_ctx"]
+    return nc
+
+
+# ---------------------------------------------------------------------------
+# on-disk artifact store (one bucket file per code hash)
+# ---------------------------------------------------------------------------
+
+def bucket_path(cache_dir: str, code_hash: str) -> str:
+    return os.path.join(cache_dir, code_hash[:2], code_hash + ".ccache")
+
+
+def load_bucket(cache_dir: str, code_hash: str) -> Dict[str, bytes]:
+    """digest -> serialized-entry map for one code hash; {} when absent or
+    unreadable (a bad artifact must never break the VM)."""
+    path = bucket_path(cache_dir, code_hash)
+    try:
+        with open(path, "rb") as f:
+            obj = pickle.load(f)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+        return {}
+    if not isinstance(obj, dict) or obj.get("format") != FORMAT_VERSION:
+        return {}
+    entries = obj.get("entries")
+    return entries if isinstance(entries, dict) else {}
+
+
+def save_bucket(cache_dir: str, code_hash: str, entries: Dict[str, bytes]) -> None:
+    """Merge ``entries`` into the bucket for ``code_hash`` (atomic replace)."""
+    merged = load_bucket(cache_dir, code_hash)
+    merged.update(entries)
+    path = bucket_path(cache_dir, code_hash)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            pickle.dump({"format": FORMAT_VERSION, "entries": merged}, f, protocol=4)
+        os.replace(tmp, path)
+    except OSError as e:  # pragma: no cover - disk-full etc.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise PersistError("save failed: %s" % e)

@@ -59,6 +59,31 @@ class Telemetry:
         #: counter is kept out of dispatch_signature() — it describes how a
         #: call was dispatched, not what was executed.
         self.pic_hits = 0
+        #: context-keyed code cache (jit/codecache.py).  All cache counters
+        #: are kept out of dispatch_signature(): hit/miss totals describe how
+        #: code was *obtained*, and legitimately differ cache-on vs cache-off
+        #: while the executed-op stream stays bit-identical.
+        self.codecache_hits = 0
+        self.codecache_misses = 0
+        self.codecache_evictions = 0
+        self.codecache_invalidations = 0
+        #: hits served by rebinding a stable (world-independent) entry
+        self.codecache_stable_hits = 0
+        #: stable hits whose bytes came from the on-disk artifact store
+        self.codecache_disk_hits = 0
+        #: compiled instructions NOT re-lowered thanks to cache hits
+        self.codecache_instrs_saved = 0
+        self.codecache_persist_failures = 0
+        #: background/step tier-up queue (jit/compile_queue.py)
+        self.tierup_enqueues = 0
+        self.tierup_installs = 0
+        #: built units discarded at install time (closure already compiled
+        #: or retired while the request was in flight)
+        self.tierup_drops = 0
+        #: IR verifier passes run by opt/pipeline.py — cache hits skip the
+        #: whole build/verify/lower pipeline, so this visibly drops when
+        #: contexts repeat ("verify once per distinct key")
+        self.ir_verifies = 0
         self._alloc_mark = RVector.allocations
         #: live compiled code size in native ops (memory proxy)
         self.code_size = 0
@@ -126,6 +151,22 @@ class Telemetry:
             ],
         }
 
+    def steady_signature(self) -> Dict[str, int]:
+        """Executed-op signature over a measurement window.
+
+        Call :meth:`reset_counters` at the window start.  This is the
+        steady-state slice of :meth:`dispatch_signature`: exactly the
+        counters that must stay bit-identical when only *how code was
+        obtained* changes (cache hit vs fresh compile), while compile-side
+        counters legitimately diverge.
+        """
+        return {
+            "interp_ops": self.interp_ops,
+            "native_ops": self.native_ops,
+            "native_generic_ops": self.native_generic_ops,
+            "guards_executed": self.guards_executed,
+        }
+
     def snapshot(self) -> Dict[str, float]:
         return {
             "interp_ops": self.interp_ops,
@@ -141,6 +182,11 @@ class Telemetry:
             "kernel_elements": self.kernel_elements,
             "inlined_frames": self.inlined_frames,
             "pic_hits": self.pic_hits,
+            "codecache_hits": self.codecache_hits,
+            "codecache_misses": self.codecache_misses,
+            "codecache_instrs_saved": self.codecache_instrs_saved,
+            "tierup_enqueues": self.tierup_enqueues,
+            "ir_verifies": self.ir_verifies,
             "allocations": self.allocations(),
             "code_size": self.code_size,
         }

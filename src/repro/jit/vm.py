@@ -40,6 +40,9 @@ from ..osr.framestate import CATASTROPHIC_REASONS, DeoptReason, DeoptReasonKind,
 from ..runtime.builtins import install_builtins
 from ..runtime.env import REnvironment
 from ..runtime.values import NULL, RClosure, RError, RPromise, RVector
+from . import codecache
+from .codecache import CodeCache
+from .compile_queue import CompileQueue
 from .config import Config, CostModel
 from .telemetry import Telemetry
 
@@ -74,6 +77,14 @@ class RVM:
         install_builtins(self.base_env)
         self.global_env = REnvironment(parent=self.base_env)
         self.output: List[str] = []
+        #: context-keyed cache of lowered compilation units (None: disabled)
+        self.code_cache: Optional[CodeCache] = (
+            CodeCache(self.config) if self.config.codecache else None
+        )
+        #: tier-up request queue; in "sync" mode it compiles inline
+        self.compile_queue = CompileQueue(self)
+        #: hot flag set by the bg worker when built code awaits install
+        self.queue_ready = False
         # hot flags read by the interpreter's dispatch loop
         self.state.osr_in_enabled = self.config.enable_jit and self.config.enable_osr_in
         self.state.osr_threshold = self.config.osr_threshold
@@ -124,6 +135,8 @@ class RVM:
         st = self.jit_state(closure)
         st.call_count += 1
 
+        if self.queue_ready:
+            self.compile_queue.install_ready()
         ncode = st.version
         if (
             ncode is None
@@ -132,7 +145,7 @@ class RVM:
             and st.call_count > self.config.compile_threshold
             and st.deopt_count < self.config.max_deopts_per_function
         ):
-            ncode = self.compile_closure(closure)
+            ncode = self.maybe_tier_up(closure, st)
 
         if ncode is not None and not ncode.invalidated:
             if ncode.env_elided:
@@ -193,18 +206,49 @@ class RVM:
     # compilation
     # ------------------------------------------------------------------
 
-    def compile_closure(self, closure: RClosure) -> Optional[NativeCode]:
+    def maybe_tier_up(self, closure: RClosure, st: ClosureJitState) -> Optional[NativeCode]:
+        """Tier-up policy point: consult the code cache, then either compile
+        inline (sync mode) or queue a request (step/bg modes)."""
+        if self.compile_queue.mode == "sync":
+            return self.compile_closure(closure)
+        ncode = self._try_cached_entry(closure, st)
+        if ncode is not None:
+            return ncode
+        return self.compile_queue.request(closure, st)
+
+    def compile_closure(self, closure: RClosure, feedback_override=None) -> Optional[NativeCode]:
+        """Synchronous tier-up: cache lookup, else full pipeline + insert."""
         st = self.jit_state(closure)
+        ncode = self._try_cached_entry(closure, st, feedback_override)
+        if ncode is not None:
+            return ncode
         try:
-            builder = GraphBuilder(self, closure.code, closure)
-            graph = builder.build()
-            optimize(graph, self.config, vm=self)
-            ncode = lower(graph, drop_deopt_exits=self.config.unsound_drop_deopt_exits)
+            ncode = self.build_native(closure, feedback_override)
         except CompilationFailure as e:
             st.cant_compile = True
             self.state.compile_failures += 1
             self.state.emit("compile_failed", closure.name, error=str(e))
             return None
+        return self.install_compiled(closure, st, ncode, feedback=feedback_override)
+
+    def build_native(self, closure: RClosure, feedback_override=None) -> NativeCode:
+        """The bare pipeline (build → optimize → lower), no installation and
+        no telemetry.  Raises CompilationFailure.  Also the unit of work the
+        background compile queue runs off-thread."""
+        builder = GraphBuilder(self, closure.code, closure,
+                               feedback_override=feedback_override)
+        graph = builder.build()
+        optimize(graph, self.config, vm=self)
+        return lower(graph, drop_deopt_exits=self.config.unsound_drop_deopt_exits)
+
+    def install_compiled(self, closure: RClosure, st: ClosureJitState,
+                         ncode: NativeCode, feedback=None) -> NativeCode:
+        """Install freshly compiled code as the closure's version; inserts
+        into the code cache under the profile codegen actually consumed
+        (``feedback``: the snapshot a queued build compiled from)."""
+        if self.code_cache is not None:
+            key = codecache.entry_key(closure, self.config, feedback)
+            self.code_cache.insert(key, ncode, self, closure.code)
         ncode.closure = closure
         st.version = ncode
         self.state.compiles += 1
@@ -212,6 +256,36 @@ class RVM:
         self.state.code_size += ncode.size
         self.state.emit("compile", closure.name, size=ncode.size, env_elided=ncode.env_elided)
         return ncode
+
+    def _try_cached_entry(self, closure: RClosure, st: ClosureJitState,
+                          feedback_override=None) -> Optional[NativeCode]:
+        """Install a cached unit compiled for this (code, context), if any.
+        A hit bumps code_size but NOT compiles/compiled_instrs — no
+        compilation happened, which is exactly the measured saving."""
+        if self.code_cache is None:
+            return None
+        key = codecache.entry_key(closure, self.config, feedback_override)
+        template = self.code_cache.lookup(key, self, closure.code)
+        if template is None:
+            return None
+        ncode = template.clone_for_install()
+        ncode.closure = closure
+        st.version = ncode
+        self.state.code_size += ncode.size
+        self.state.emit("codecache_hit", closure.name, unit="fn", size=ncode.size)
+        return ncode
+
+    def drain_compile_queue(self, budget: Optional[int] = None) -> int:
+        """Explicit drain for "step" mode (and tests): compile+install up to
+        ``budget`` instructions' worth of queued tier-up requests."""
+        return self.compile_queue.drain(budget)
+
+    def save_code_cache(self) -> int:
+        """Flush stable cache entries to the warm-start artifact directory
+        (``Config.codecache_dir``); returns buckets written."""
+        if self.code_cache is None:
+            return 0
+        return self.code_cache.save()
 
     # ------------------------------------------------------------------
     # OSR
@@ -248,6 +322,15 @@ class RVM:
         while root.parent is not None:
             root = root.parent
         fun = root.fun
+        if self.code_cache is not None and reason.kind != DeoptReasonKind.CHAOS:
+            # a real mis-speculation widens the profile (deopt_sites bump now,
+            # reprofiling after the retire below): every future cache key for
+            # this code differs, so entries under the old context are dead.
+            # Chaos deopts are exempt — they change no feedback, and serving
+            # the identical recompile from cache is precisely the win.
+            self.code_cache.invalidate_code(fs.code, self)
+            if fun is not None and fun.code is not fs.code:
+                self.code_cache.invalidate_code(fun.code, self)
         if fun is not None and fun.jit is not None:
             st = fun.jit
             if reason.kind in CATASTROPHIC_REASONS:

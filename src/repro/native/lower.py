@@ -204,6 +204,47 @@ class NativeCode:
         #: per-CALLG polymorphic inline caches (reference executor), keyed by
         #: op index; the threaded engine keeps its caches in handler closures
         self.pics: Dict[int, list] = {}
+        #: when this unit is a clone served by the code cache: the cached
+        #: template it was cloned from (native/threaded.py back-propagates a
+        #: lazily compiled handler array so later clones start warm)
+        self.cache_template: Optional["NativeCode"] = None
+
+    def clone_for_install(self) -> "NativeCode":
+        """A fresh installable view sharing the immutable compilation output.
+
+        The op stream, register plan, deopt/kernel tables and threaded
+        handler array are safely shareable: the executors thread all
+        run-state through the frame, never through the code object.  What
+        must be per-install is the identity bookkeeping — ``closure`` (frame
+        attribution of the root frame in ``build_framestate``) and the
+        ``invalidated`` flag (retiring one closure's version must not kill a
+        sibling's).
+        """
+        clone = NativeCode.__new__(NativeCode)
+        clone.name = self.name
+        clone.ops = self.ops
+        clone.n_regs = self.n_regs
+        clone.reg_init = self.reg_init
+        clone.deopts = self.deopts
+        clone.kernels = self.kernels
+        clone.param_regs = self.param_regs
+        clone.env_reg = self.env_reg
+        clone.env_elided = self.env_elided
+        clone.cont_var_names = self.cont_var_names
+        clone.cont_stack_size = self.cont_stack_size
+        clone.entry_pc = self.entry_pc
+        clone.is_continuation = self.is_continuation
+        clone.is_deoptless_continuation = self.is_deoptless_continuation
+        clone.bc_code = self.bc_code
+        clone.closure = None
+        clone.invalidated = False
+        clone.threaded = self.threaded
+        clone.pics = self.pics
+        clone.cache_template = self
+        ctx = getattr(self, "deoptless_ctx", None)
+        if ctx is not None:
+            clone.deoptless_ctx = ctx
+        return clone
 
     @property
     def size(self) -> int:

@@ -996,6 +996,12 @@ def compile_threaded(ncode: NativeCode) -> List[Callable[[Frame], int]]:
             raise RError("bad native opcode %d" % ins[0])
         handlers[i] = factory(ins, i, ops)
     ncode.threaded = handlers
+    # handlers never capture the NativeCode (all run-state flows through the
+    # Frame), so a code-cache clone can hand its lazily compiled array back
+    # to the template: later clones of the same entry start warm
+    template = ncode.cache_template
+    if template is not None and template.threaded is None:
+        template.threaded = handlers
     return handlers
 
 

@@ -25,10 +25,10 @@ from .vectorize import vectorize_loops
 def optimize(graph: Graph, config=None, vm=None) -> Graph:
     check = config is None or getattr(config, "verify_ir", True)
     if check:
-        verify(graph)
+        _verify(graph, vm)
     if vm is not None and config is not None and getattr(config, "inline", False):
         if inline_calls(graph, vm) and check:
-            verify(graph)
+            _verify(graph, vm)
     simplify(graph)
     force_dse = bool(config and getattr(config, "unsound_continuation_escape", False))
     dse(graph, force=force_dse)
@@ -39,5 +39,14 @@ def optimize(graph: Graph, config=None, vm=None) -> Graph:
     # the final cleaned shape the lowerer will consume
     vectorize_loops(graph, config)
     if check:
-        verify(graph)
+        _verify(graph, vm)
     return graph
+
+
+def _verify(graph: Graph, vm=None) -> None:
+    """IR verification, counted: verification happens once per *distinct*
+    cache key — a code-cache hit skips this pipeline entirely, and the
+    ``ir_verifies`` counter is how tests observe that."""
+    if vm is not None:
+        vm.state.ir_verifies += 1
+    verify(graph)

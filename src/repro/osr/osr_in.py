@@ -7,9 +7,12 @@ variables passed in as arguments.  By construction of our loop lowering the
 operand stack is empty at backedge targets, so only the environment needs
 to be transferred.
 
-Per the paper, the continuation is used once and not cached: on the next
-call of the function, the whole function is compiled from the beginning
-("for the price of compiling these functions twice").
+Per the paper, the continuation is used once and not kept installed: on the
+next call of the function, the whole function is compiled from the beginning
+("for the price of compiling these functions twice").  The code cache keeps
+the *lowered unit* though, keyed on (code hash, loop pc, live variable
+types, feedback signature): re-entering the same loop shape — another
+closure of the same source, or a restarted VM — skips the second compile.
 """
 
 from __future__ import annotations
@@ -27,31 +30,48 @@ def try_osr_in(vm, code, env, pc: int, closure=None) -> Tuple[bool, Any]:
     """Attempt OSR-in at a loop head. Returns (entered, result)."""
     code.backedge_count = 0  # re-arm the counter whatever happens
     var_types = {name: rtype_quick(v) for name, v in env.bindings.items()}
-    try:
-        builder = GraphBuilder(
-            vm, code, closure,
-            entry_pc=pc,
-            entry_var_types=var_types,
-            entry_stack_types=[],
-            is_continuation=True,
-        )
-        if closure is None:
-            # top-level code runs against a shared (global) environment whose
-            # bindings are observable by callees: never elide it
-            builder.env_mode = True
-            builder.graph.env_elided = False
-        graph = builder.build()
-        optimize(graph, vm.config, vm=vm)
-        ncode = lower(graph)
-    except CompilationFailure as e:
-        code.osr_disabled = True
-        vm.state.compile_failures += 1
-        vm.state.emit("osr_in_failed", code.name, error=str(e))
-        return (False, None)
+
+    key = None
+    ncode = None
+    if vm.code_cache is not None:
+        from ..jit import codecache
+
+        key = codecache.osr_key(code, closure, pc, var_types, vm.config)
+        template = vm.code_cache.lookup(key, vm, code)
+        if template is not None:
+            ncode = template.clone_for_install()
+            vm.state.emit("codecache_hit", code.name, unit="osr", pc=pc,
+                          size=ncode.size)
+
+    if ncode is None:
+        try:
+            builder = GraphBuilder(
+                vm, code, closure,
+                entry_pc=pc,
+                entry_var_types=var_types,
+                entry_stack_types=[],
+                is_continuation=True,
+            )
+            if closure is None:
+                # top-level code runs against a shared (global) environment whose
+                # bindings are observable by callees: never elide it
+                builder.env_mode = True
+                builder.graph.env_elided = False
+            graph = builder.build()
+            optimize(graph, vm.config, vm=vm)
+            ncode = lower(graph)
+        except CompilationFailure as e:
+            code.osr_disabled = True
+            vm.state.compile_failures += 1
+            vm.state.emit("osr_in_failed", code.name, error=str(e))
+            return (False, None)
+        if key is not None:
+            vm.code_cache.insert(key, ncode, vm, code)
+        vm.state.compiles += 1
+        vm.state.compiled_instrs += ncode.size
+
     ncode.closure = closure
     vm.state.osr_ins += 1
-    vm.state.compiles += 1
-    vm.state.compiled_instrs += ncode.size
     vm.state.code_size += ncode.size
     vm.state.emit("osr_in", code.name, pc=pc, size=ncode.size)
 
