@@ -47,8 +47,13 @@ EXPECT_DBL = 11.5
 
 
 def _fresh_vm(codecache, codecache_dir=None):
+    # ctxdispatch off: this benchmark measures *deoptless recovery* latency,
+    # so the dbl call must mis-speculate in the generic version; an entry-
+    # specialized version would absorb the phase change at the call boundary
+    # (that layer is measured by benchmarks/test_context_dispatch.py)
     cfg = Config(compile_threshold=2, enable_deoptless=True,
-                 codecache=codecache, codecache_dir=codecache_dir)
+                 codecache=codecache, codecache_dir=codecache_dir,
+                 ctxdispatch=False)
     vm = RVM(cfg)
     for s in SETUP:
         vm.eval(s)

@@ -84,6 +84,7 @@ def main() -> None:
 
     inspect_inlining()
     inspect_code_cache()
+    inspect_context_dispatch()
 
 
 #: ``inc`` reads the free variable ``k`` from its lexical environment, so
@@ -204,6 +205,69 @@ def inspect_code_cache() -> None:
           % (vm.state.codecache_hits, vm.state.codecache_stable_hits,
              vm.state.codecache_misses, vm.state.compiles))
     for e in vm.state.events_of("codecache_hit"):
+        details = {k: v for k, v in e.details.items()}
+        print("  %-20s %-10s %s" % (e.kind, e.fn_name, details))
+
+
+#: a driver so the CALL site's argument-kind profiles are observable in a
+#: closure's persistent feedback (top-level code objects are transient)
+CTX_SRC = SRC + """
+ctxdriver <- function(v, n, m) {
+  s <- 0
+  j <- 0
+  while (j < m) {
+    s <- s + sumfn(v, n)
+    j <- j + 1
+  }
+  s
+}
+"""
+
+
+def inspect_context_dispatch() -> None:
+    """The entry version tables: one compiled version per call context."""
+    vm = RVM(Config(compile_threshold=3, ctxdispatch=True,
+                    dispatch_versions=2, dispatch_evict=False))
+    vm.eval(CTX_SRC)
+    vm.eval("xi <- c(1L, 2L, 3L)")
+    vm.eval("xd <- c(1.5, 2.5, 3.5)")
+    vm.eval("xl <- c(TRUE, FALSE, TRUE)")
+    # sumfn is entry-polymorphic: three argument contexts hit the same call
+    # boundary.  dbl runs first so the int context cannot ride on a wider
+    # dbl version (int <= dbl) and compiles its own; the lgl calls then
+    # dispatch into the int version (lgl <= int in the context order)
+    for _ in range(6):
+        vm.eval("ctxdriver(xd, 3L, 4L)")
+        vm.eval("ctxdriver(xi, 3L, 4L)")
+        vm.eval("ctxdriver(xl, 3L, 4L)")
+
+    print()
+    print("=" * 70)
+    print("12. ENTRY VERSION TABLE (one compiled version per call context)")
+    print("=" * 70)
+    clo = vm.global_env.get("sumfn")
+    st = clo.jit
+    driver = vm.global_env.get("ctxdriver")
+    fb = next((s for s in driver.code.feedback.values()
+               if getattr(s, "arg_profiles", None)), None)
+    if fb is not None:
+        print("  ctxdriver's call-site arg-kind profiles: %s"
+              % ", ".join("(%s)" % ", ".join(k.name for k in p)
+                          for p in fb.arg_profiles))
+    if st.versions is None:
+        print("  (no versions)")
+        return
+    print("  versions (scanned most-specific first, generic falls through):")
+    for e in st.versions.iter_entries():
+        print("    spec=%2d hits=%4d %r\n      -> %r"
+              % (e.spec, e.hits, e.ctx, e.code))
+    print("  ctx_compiles=%d ctx_dispatches=%d ctx_pic_hits=%d"
+          % (vm.state.ctx_compiles, vm.state.ctx_dispatches,
+             vm.state.ctx_pic_hits))
+    print("  table evictions=%d refusals=%d (dispatch_versions=%d, evict=%s)"
+          % (vm.state.dispatch_evictions, vm.state.dispatch_refusals,
+             vm.config.dispatch_versions, vm.config.dispatch_evict))
+    for e in vm.state.events_of("ctx_compile"):
         details = {k: v for k, v in e.details.items()}
         print("  %-20s %-10s %s" % (e.kind, e.fn_name, details))
 

@@ -119,10 +119,17 @@ def compare_phases(
     base_config: Optional[Config] = None,
     global_setup: str = "",
 ) -> Tuple[RunResult, RunResult]:
-    """Run the same phases under normal deoptimization and under deoptless."""
+    """Run the same phases under normal deoptimization and under deoptless.
+
+    Contextual dispatch is pinned off on both sides: the paper's figures
+    compare a *single* optimized version recovering at the exit boundary
+    (deopt vs deoptless continuation).  Entry-specialized versions would
+    absorb the phase change at the call boundary instead and flatten both
+    series (that layer is measured by benchmarks/test_context_dispatch.py).
+    """
     base = base_config or Config()
-    normal_cfg = _clone_config(base, enable_deoptless=False)
-    deoptless_cfg = _clone_config(base, enable_deoptless=True)
+    normal_cfg = _clone_config(base, enable_deoptless=False, ctxdispatch=False)
+    deoptless_cfg = _clone_config(base, enable_deoptless=True, ctxdispatch=False)
     normal = run_phases(normal_cfg, source, phases, "normal", global_setup)
     deoptless = run_phases(deoptless_cfg, source, phases, "deoptless", global_setup)
     return normal, deoptless

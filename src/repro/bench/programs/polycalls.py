@@ -1,0 +1,106 @@
+"""Entry-polymorphic call workloads — one closure, several argument contexts.
+
+These are the contextual-dispatch workloads: each driver calls the *same*
+closure in a hot loop while alternating the argument types per iteration
+(integer vector vs double vector, integer scalar vs double scalar, ...).
+With a single compiled version the callee speculates on the first context,
+deopts on the second, re-speculates on the lub, deopts again and finally
+settles on generic boxed code.  With contextual dispatch each context gets
+its own specialized version — typed, unboxed loops — selected by an entry
+check that the body never repeats.
+"""
+
+from __future__ import annotations
+
+from ..workload import REGISTRY, Workload
+
+REGISTRY.add(Workload(
+    name="ctx_poly_sum",
+    source="""
+pc_sum <- function(data, len) {
+  total <- 0
+  i <- 1
+  while (i <= len) {
+    total <- total + data[[i]]
+    i <- i + 1
+  }
+  total
+}
+ctx_poly_sum_run <- function(n, xi, xd, len) {
+  s <- 0
+  i <- 0
+  while (i < n) {
+    s <- s + pc_sum(xi, len)
+    s <- s + pc_sum(xd, len)
+    i <- i + 1
+  }
+  s
+}
+""",
+    setup="pcs_xi <- 1:64\npcs_xd <- 1:64 + 0.5",
+    call="ctx_poly_sum_run({n}, pcs_xi, pcs_xd, 64L)",
+    n=600,
+    n_test=60,
+    notes="int-vector and dbl-vector contexts alternate at one call site; "
+          "the callee loops, so it cannot be inlined away",
+))
+
+REGISTRY.add(Workload(
+    name="ctx_poly_acc",
+    source="""
+pa_acc <- function(s, x, k) {
+  r <- s + x * k
+  r - k
+}
+ctx_poly_acc_run <- function(n) {
+  s <- 0
+  i <- 0
+  while (i < n) {
+    s <- s + pa_acc(0L, 2L, 3L)
+    s <- s + pa_acc(0.5, 2.5, 3.5)
+    i <- i + 1
+  }
+  s
+}
+""",
+    setup="invisible(NULL)",
+    call="ctx_poly_acc_run({n})",
+    n=30000,
+    n_test=3000,
+    notes="scalar int and scalar dbl contexts alternate per iteration",
+))
+
+REGISTRY.add(Workload(
+    name="ctx_poly_mix3",
+    source="""
+pm_step <- function(a, b) {
+  if (b) a + a else a
+}
+pm_wide <- function(v, len) {
+  t <- 0
+  j <- 1
+  while (j <= len) {
+    t <- t + v[[j]]
+    j <- j + 1
+  }
+  t
+}
+ctx_poly_mix3_run <- function(n, xi, xd, len) {
+  s <- 0
+  i <- 0
+  while (i < n) {
+    s <- s + pm_wide(xi, len)
+    s <- s + pm_wide(xd, len)
+    s <- s + pm_step(i, TRUE)
+    i <- i + 1
+  }
+  s
+}
+""",
+    setup="pm_xi <- 1:32\npm_xd <- 1:32 * 1.5",
+    call="ctx_poly_mix3_run({n}, pm_xi, pm_xd, 32L)",
+    n=900,
+    n_test=90,
+    notes="three contexts across two callees: int/dbl vector sums plus a "
+          "scalar int+lgl step",
+))

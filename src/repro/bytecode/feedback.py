@@ -24,6 +24,10 @@ from ..runtime.values import rtype_quick
 #: calls seen with more distinct targets than this are megamorphic.
 MAX_CALL_TARGETS = 3
 
+#: distinct argument-kind tuples remembered per call site before the site's
+#: entry-context profile is considered unbounded-polymorphic.
+MAX_CALL_ARG_PROFILES = 4
+
 
 class ObservedType:
     """Merged observations of the runtime types at one program point."""
@@ -121,18 +125,38 @@ class BinopFeedback:
 
 
 class CallFeedback:
-    """Distinct callees observed at a call site."""
+    """Distinct callees observed at a call site, plus a bounded profile of
+    the argument *kinds* the site was called with.
 
-    __slots__ = ("targets", "megamorphic", "count", "stale")
+    The kind tuples feed the contextual-dispatch layer: a site whose
+    ``arg_profiles`` shows several distinct tuples is entry-polymorphic —
+    its callee is a candidate for per-call-context versions, and the
+    inspector surfaces the tuples so the split is explainable.  Only the
+    element kind is recorded (not the full RType): profiling runs on every
+    baseline call, and the kind is an O(1) read that is stable under the
+    NA/scalar widenings the distiller applies anyway.
+    """
+
+    __slots__ = ("targets", "megamorphic", "count", "stale", "arg_profiles")
 
     def __init__(self) -> None:
         self.targets: List[Any] = []
         self.megamorphic = False
         self.count = 0
         self.stale = False
+        #: distinct argument Kind tuples, insertion-ordered, bounded by
+        #: MAX_CALL_ARG_PROFILES (None once the bound is exceeded)
+        self.arg_profiles: Optional[List[tuple]] = []
 
-    def record(self, target: Any) -> None:
+    def record(self, target: Any, args: Optional[List[Any]] = None) -> None:
         self.count += 1
+        if args is not None and self.arg_profiles is not None:
+            prof = tuple(rtype_quick(a).kind for a in args)
+            if prof not in self.arg_profiles:
+                if len(self.arg_profiles) >= MAX_CALL_ARG_PROFILES:
+                    self.arg_profiles = None  # unbounded-polymorphic
+                else:
+                    self.arg_profiles.append(prof)
         if self.megamorphic:
             return
         for t in self.targets:
@@ -149,12 +173,21 @@ class CallFeedback:
             return self.targets[0]
         return None
 
+    @property
+    def args_polymorphic(self) -> bool:
+        """True when the site has been observed with more than one distinct
+        argument-kind tuple (or blew the profile bound)."""
+        return self.arg_profiles is None or len(self.arg_profiles) > 1
+
     def copy(self) -> "CallFeedback":
         c = CallFeedback()
         c.targets = list(self.targets)
         c.megamorphic = self.megamorphic
         c.count = self.count
         c.stale = self.stale
+        c.arg_profiles = (
+            list(self.arg_profiles) if self.arg_profiles is not None else None
+        )
         return c
 
 

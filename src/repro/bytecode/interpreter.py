@@ -295,7 +295,7 @@ def run(
                 del stack[len(stack) - nargs :]
                 fn = stack.pop()
                 call_names = consts[ins[2]] if ins[2] >= 0 else None
-                fbslots[pc].record(fn)
+                fbslots[pc].record(fn, args)
                 stack.append(call_function(fn, args, call_names, vm))
 
             elif op == O.MK_CLOSURE:
@@ -518,7 +518,7 @@ def run_ref(
             fb = feedback.get(pc)
             if fb is None:
                 fb = feedback[pc] = CallFeedback()
-            fb.record(fn)
+            fb.record(fn, args)
             stack.append(call_function(fn, args, call_names, vm))
 
         elif op == O.MK_CLOSURE:

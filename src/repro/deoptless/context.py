@@ -23,11 +23,15 @@ environment entries are not eligible for deoptless.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
-from ..osr.framestate import DeoptReason, DeoptReasonKind, FrameState
-from ..runtime.rtypes import ANY, RType
-from ..runtime.values import rtype_quick
+from ..runtime.rtypes import ANY, Kind, RType, intern_rtype
+from ..runtime.values import RPromise, rtype_quick
+
+# imported late (below, before compute_context): the osr package reaches the
+# native executor, which needs this module's CallContext machinery — keeping
+# the framestate import out of the header breaks that cycle; all uses above
+# it are annotations only (lazy under `from __future__ import annotations`)
 
 
 class ReasonPayload:
@@ -200,6 +204,128 @@ class DeoptContext:
         return "<ctx @%d%s %r stack=%r env={%s}>" % (self.pc, d, self.reason, self.stack_types, env)
 
 
+class CallContext:
+    """The dispatchable description of one function-entry state.
+
+    Entry contexts reuse the exact partial-order machinery of
+    :class:`DeoptContext` (Ř surrounds deoptless with contextual dispatch at
+    call boundaries): a version compiled under context ``c2`` may be entered
+    from a call state ``c1`` iff ``c1 <= c2``.  A context records, per
+    positional argument slot:
+
+    * its :class:`RType` (element kind, scalar/vector shape, NA-freedom —
+      exact for scalars, widened for vectors whose NA scan would not be
+      O(1)), and
+    * whether the slot holds a *forced value* (``True``) or an unevaluated
+      promise (``False``; the type is then ``ANY`` and the compiled version
+      keeps its entry ``Force``).
+
+    The argument count is part of comparability, mirroring how
+    ``DeoptContext`` keys on stack shape and env names.
+    """
+
+    __slots__ = ("arg_types", "forced")
+
+    def __init__(self, arg_types: Tuple[RType, ...], forced: Tuple[bool, ...]):
+        self.arg_types = arg_types
+        self.forced = forced
+
+    # -- partial order -----------------------------------------------------------
+
+    def comparable(self, other: "CallContext") -> bool:
+        return len(self.arg_types) == len(other.arg_types)
+
+    def __le__(self, other: "CallContext") -> bool:
+        if not self.comparable(other):
+            return False
+        for a, b in zip(self.arg_types, other.arg_types):
+            if not (a <= b):
+                return False
+        for a, b in zip(self.forced, other.forced):
+            # a version compiled for a forced value must receive one; a
+            # version compiled for "maybe a promise" takes anything
+            if b and not a:
+                return False
+        return True
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, CallContext)
+            and self.arg_types == other.arg_types
+            and self.forced == other.forced
+        )
+
+    def __hash__(self):
+        # entry contexts are dict keys in the code cache and in the PIC's
+        # per-site (callee, context) -> version caches
+        return hash((self.arg_types, self.forced))
+
+    def stable_parts(self) -> tuple:
+        """World-independent rendering for stable cache digests.  Unlike
+        :meth:`DeoptContext.stable_parts` no resolver is needed: an entry
+        context never pins a runtime identity, only types."""
+        return (self.arg_types, self.forced)
+
+    # -- heuristics -----------------------------------------------------------------
+
+    def specificity(self) -> int:
+        """Same linearization proxy as :meth:`DeoptContext.specificity`,
+        summing the shared per-type rank; forced slots are tighter than
+        maybe-promise ones."""
+        score = 0
+        for t in self.arg_types:
+            score += _type_spec(t)
+        for f in self.forced:
+            if f:
+                score += 1
+        return score
+
+    def __repr__(self) -> str:  # pragma: no cover
+        slots = ", ".join(
+            "%r%s" % (t, "" if f else "?")
+            for t, f in zip(self.arg_types, self.forced)
+        )
+        return "<callctx (%s)>" % slots
+
+
+#: entry contexts with more positional slots than this are not distilled
+#: (mirrors the paper's stack/env bounds: huge contexts never pay off)
+MAX_CONTEXT_ARGS = 8
+
+
+def distill_call_context(args: List[Any]) -> Optional[CallContext]:
+    """``computeCtx`` for a function entry: distill the dispatchable context
+    from a positional argument list.
+
+    Forced promises are unwrapped **in place** (their value is what a typed
+    version's parameter registers must receive; semantically identical to
+    the generic path, where the entry ``Force`` yields the same object).
+    Unforced promises stay and distill to an untyped, unforced slot.  Vector
+    NA-freedom is widened to ``maybe_na`` — :func:`rtype_quick` only proves
+    NA-freedom for scalars, and an entry context must be a *sound* claim
+    since the compiled version drops the corresponding guards.
+    """
+    if len(args) > MAX_CONTEXT_ARGS:
+        return None
+    types: List[RType] = []
+    forced: List[bool] = []
+    for i, v in enumerate(args):
+        if isinstance(v, RPromise):
+            if v.forced:
+                v = v.value
+                args[i] = v
+            else:
+                types.append(ANY)
+                forced.append(False)
+                continue
+        t = rtype_quick(v)
+        if not t.scalar and not t.maybe_na and t.kind is not Kind.ANY:
+            t = intern_rtype(t.kind, False, True)
+        types.append(t)
+        forced.append(True)
+    return CallContext(tuple(types), tuple(forced))
+
+
 #: kind precision rank: lower lattice kinds are more specific, so a dbl
 #: context sorts before a cplx one and dispatch prefers the tighter match
 _KIND_RANK = {
@@ -215,6 +341,9 @@ def _type_spec(t: RType) -> int:
     if not t.maybe_na:
         s += 1
     return s
+
+
+from ..osr.framestate import DeoptReason, DeoptReasonKind, FrameState  # noqa: E402
 
 
 def compute_context(fs: FrameState, reason: DeoptReason, config) -> Optional[DeoptContext]:

@@ -1,94 +1,213 @@
-"""The deoptless dispatch table.
+"""Context dispatch tables: deoptless continuations and entry versions.
 
-One table per function (paper: "we keep all deoptless continuations of a
-function in a common dispatch table"), holding up to
+One :class:`DispatchTable` per function (paper: "we keep all deoptless
+continuations of a function in a common dispatch table"), holding up to
 ``deoptless_max_continuations`` (5 by default) compiled continuations keyed
-by their :class:`DeoptContext`.
+by their :class:`DeoptContext`.  The same machinery, generalized as
+:class:`ContextTable`, also backs the :class:`VersionTable` of the entry
+contextual-dispatch layer: per-closure compiled versions keyed by
+:class:`CallContext`, scanned most-specific-first with the closure's
+generic version as the fall-through.
 
-The table stores entries sorted most-specific first — a linearization of
-the contexts' partial order.  ``dispatch`` scans for the first entry whose
+A table stores entries sorted most-specific first — a linearization of the
+contexts' partial order.  ``dispatch`` scans for the first entry whose
 context is ≥ the current one, exactly the scan described in section 4.3.
 As in the paper, the linearization "does not favor a particular context,
 should multiple optimal ones exist".
 
-Entries are additionally indexed by ``(target pc, reason kind)``.  Two
-contexts are only comparable when both agree (``DeoptContext.comparable``),
-so the scan can be restricted to one bucket without changing which entry it
-finds; the within-bucket order is inherited from the global specificity
-sort.  The index matters for mid-kernel exits: a bulk vector kernel that
-repeatedly trips at different guards materializes contexts at several
-loop-body pcs of the same function, keyed on the target pc plus the
-observed element type — bucketing keeps each of those dispatch points a
-one-or-two entry scan instead of a walk over every continuation of the
-function.
+Entries are bucketed by a comparability key — ``(target pc, reason kind)``
+for deopt contexts, the argument count for call contexts.  Two contexts are
+only comparable when the key agrees, so the scan can be restricted to one
+bucket without changing which entry it finds.  Inserts are ``bisect``-style
+into the affected bucket only (the previous implementation re-sorted the
+whole entry list and rebuilt every bucket per insert); within-bucket order
+is descending specificity with ties kept in insertion order, which is what
+the global stable sort produced.
+
+A full table refuses inserts by default (the paper's bound: the caller
+falls back to real deoptimization) and counts the refusals.  With the
+``evict`` knob (``Config.dispatch_evict``) it instead retires the entry
+with the lowest ``(hit count, specificity)`` — rarely dispatched generic
+entries go first — and reports it via ``last_evicted`` so the caller can
+mark the code invalidated and release its code-size accounting.
 """
 
 from __future__ import annotations
 
+import bisect
 from typing import Dict, List, Optional, Tuple
 
-from .context import DeoptContext
+from .context import CallContext, DeoptContext
 
 
-class DispatchTable:
-    def __init__(self, max_entries: int = 5):
+class TableEntry:
+    """One (context, compiled code) pair plus its dispatch bookkeeping."""
+
+    __slots__ = ("ctx", "code", "hits", "spec", "seq")
+
+    def __init__(self, ctx, code, seq: int):
+        self.ctx = ctx
+        self.code = code
+        self.hits = 0
+        self.spec = ctx.specificity()
+        #: insertion sequence number: the eviction tie-break, and what keeps
+        #: equal-specificity entries in first-inserted-first-scanned order
+        self.seq = seq
+
+    def __lt__(self, other: "TableEntry") -> bool:
+        # descending specificity under bisect.insort; insort_right places
+        # equal keys after existing ones (insertion order, like the stable
+        # global sort this replaced)
+        return self.spec > other.spec
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<entry spec=%d hits=%d %r>" % (self.spec, self.hits, self.ctx)
+
+
+class ContextTable:
+    """Bucketed most-specific-first dispatch over a context partial order."""
+
+    def __init__(self, max_entries: int, evict: bool = False):
         self.max_entries = max_entries
-        #: [(context, native_code)] sorted by decreasing specificity
-        self.entries: List[Tuple[DeoptContext, object]] = []
-        #: (pc, reason kind) -> entries of that dispatch point, same order
-        self._buckets: Dict[tuple, List[Tuple[DeoptContext, object]]] = {}
+        #: hit-count-weighted eviction instead of refusing when full
+        self.evict = evict
+        #: comparability key -> entries, descending specificity
+        self._buckets: Dict[tuple, List[TableEntry]] = {}
+        self._count = 0
+        self._seq = 0
+        #: inserts refused because the table was full (telemetry)
+        self.refused_inserts = 0
+        self.evictions = 0
+        #: entry displaced by the most recent insert, for caller accounting
+        self.last_evicted: Optional[TableEntry] = None
+
+    def _bucket_key(self, ctx) -> tuple:
+        raise NotImplementedError
 
     def __len__(self) -> int:
-        return len(self.entries)
+        return self._count
 
     @property
     def full(self) -> bool:
-        return len(self.entries) >= self.max_entries
+        return self._count >= self.max_entries
 
-    def _reindex(self) -> None:
-        buckets: Dict[tuple, List[Tuple[DeoptContext, object]]] = {}
-        for ctx, ncode in self.entries:
-            buckets.setdefault((ctx.pc, ctx.reason.kind), []).append((ctx, ncode))
-        self._buckets = buckets
+    @property
+    def entries(self) -> List[Tuple[object, object]]:
+        """All (context, code) pairs, most-specific first (the old flat-list
+        view, kept for tests and the inspector)."""
+        flat = [e for bucket in self._buckets.values() for e in bucket]
+        flat.sort(key=lambda e: (-e.spec, e.seq))
+        return [(e.ctx, e.code) for e in flat]
 
-    def dispatch(self, ctx: DeoptContext) -> Optional[object]:
-        """First continuation whose compile-time context covers ``ctx``."""
-        for compiled_ctx, ncode in self._buckets.get((ctx.pc, ctx.reason.kind), ()):
-            if ctx <= compiled_ctx:
-                return ncode
+    def iter_entries(self) -> List[TableEntry]:
+        flat = [e for bucket in self._buckets.values() for e in bucket]
+        flat.sort(key=lambda e: (-e.spec, e.seq))
+        return flat
+
+    def dispatch(self, ctx) -> Optional[object]:
+        """First compiled code whose compile-time context covers ``ctx``."""
+        for e in self._buckets.get(self._bucket_key(ctx), ()):
+            if ctx <= e.ctx:
+                e.hits += 1
+                return e.code
         return None
 
-    def lookup_exact(self, ctx: DeoptContext) -> Optional[object]:
-        for compiled_ctx, ncode in self._buckets.get((ctx.pc, ctx.reason.kind), ()):
-            if compiled_ctx == ctx:
-                return ncode
+    def lookup_exact(self, ctx) -> Optional[object]:
+        for e in self._buckets.get(self._bucket_key(ctx), ()):
+            if e.ctx == ctx:
+                return e.code
         return None
 
-    def insert(self, ctx: DeoptContext, ncode) -> bool:
-        """Add a continuation; False when the table bound is hit (the caller
-        must then fall back to real deoptimization)."""
-        existing = self.lookup_exact(ctx)
-        if existing is not None:
-            self.entries = [(c, n) for c, n in self.entries if c != ctx]
-        elif self.full:
-            return False
-        self.entries.append((ctx, ncode))
-        # linearize the partial order: more specific contexts first so that
-        # the scan finds the tightest compatible continuation
-        self.entries.sort(key=lambda e: -e[0].specificity())
-        self._reindex()
+    def insert(self, ctx, code) -> bool:
+        """Add an entry; False when the table bound is hit and eviction is
+        off (the caller must then fall back — for deoptless, to real
+        deoptimization; for entry dispatch, to the generic version)."""
+        self.last_evicted = None
+        key = self._bucket_key(ctx)
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            for i, e in enumerate(bucket):
+                if e.ctx == ctx:
+                    bucket[i] = TableEntry(ctx, code, e.seq)
+                    return True
+        if self._count >= self.max_entries:
+            if not self.evict:
+                self.refused_inserts += 1
+                return False
+            self._evict_one()
+        if bucket is None:
+            bucket = self._buckets[key] = []
+        entry = TableEntry(ctx, code, self._seq)
+        self._seq += 1
+        bisect.insort(bucket, entry)
+        self._count += 1
         return True
 
-    def remove(self, ncode) -> None:
-        self.entries = [(c, n) for c, n in self.entries if n is not ncode]
-        self._reindex()
+    def _evict_one(self) -> None:
+        victim = None
+        for bucket in self._buckets.values():
+            for e in bucket:
+                if victim is None or (e.hits, e.spec, e.seq) < (victim.hits, victim.spec, victim.seq):
+                    victim = e
+        if victim is None:  # pragma: no cover - only called when non-empty
+            return
+        self._buckets[self._bucket_key(victim.ctx)].remove(victim)
+        self._count -= 1
+        self.evictions += 1
+        self.last_evicted = victim
+
+    def remove(self, code) -> None:
+        for key in list(self._buckets):
+            bucket = self._buckets[key]
+            kept = [e for e in bucket if e.code is not code]
+            if len(kept) != len(bucket):
+                self._count -= len(bucket) - len(kept)
+                if kept:
+                    self._buckets[key] = kept
+                else:
+                    del self._buckets[key]
 
     def clear(self) -> None:
-        self.entries = []
         self._buckets = {}
+        self._count = 0
 
     def total_code_size(self) -> int:
-        return sum(n.size for _, n in self.entries)
+        return sum(e.code.size for b in self._buckets.values() for e in b)
 
     def __repr__(self) -> str:  # pragma: no cover
-        return "<DispatchTable %d/%d>" % (len(self.entries), self.max_entries)
+        return "<%s %d/%d>" % (type(self).__name__, self._count, self.max_entries)
+
+
+class DispatchTable(ContextTable):
+    """Deoptless continuations keyed by :class:`DeoptContext`.
+
+    The bucket key matters for mid-kernel exits: a bulk vector kernel that
+    repeatedly trips at different guards materializes contexts at several
+    loop-body pcs of the same function, keyed on the target pc plus the
+    observed element type — bucketing keeps each of those dispatch points a
+    one-or-two entry scan instead of a walk over every continuation of the
+    function.
+    """
+
+    def __init__(self, max_entries: int = 5, evict: bool = False):
+        super().__init__(max_entries, evict)
+
+    def _bucket_key(self, ctx: DeoptContext) -> tuple:
+        return (ctx.pc, ctx.reason.kind)
+
+
+class VersionTable(ContextTable):
+    """Entry-specialized compiled versions keyed by :class:`CallContext`.
+
+    The generic version (``ClosureJitState.version``) is deliberately NOT an
+    entry: it is the fall-through the caller executes on a dispatch miss, so
+    the table only ever holds strictly-assuming versions and a deopt in one
+    of them can retire exactly that entry, leaving the siblings and the
+    generic fall-through installed.
+    """
+
+    def __init__(self, max_entries: int = 4, evict: bool = False):
+        super().__init__(max_entries, evict)
+
+    def _bucket_key(self, ctx: CallContext) -> tuple:
+        return (len(ctx.arg_types),)

@@ -67,9 +67,18 @@ def try_deoptless(vm, fs: FrameState, reason: DeoptReason, origin) -> Any:
         if new is not None:
             if table.insert(ctx, new):
                 vm.state.code_size += new.size
+                victim = table.last_evicted
+                if victim is not None:
+                    # Config.dispatch_evict displaced a cold continuation:
+                    # release its accounting and fence off stale dispatches
+                    table.last_evicted = None
+                    victim.code.invalidated = True
+                    vm.state.code_size -= victim.code.size
+                    vm.state.dispatch_evictions += 1
                 fun = new
             elif fun is None:
                 # table bound reached and nothing compatible: real deopt
+                vm.state.dispatch_refusals += 1
                 vm.state.deoptless_bailouts += 1
                 return MISS
         elif fun is None:

@@ -270,6 +270,8 @@ class GraphBuilder:
         is_continuation: bool = False,
         injected_types: Optional[Dict[int, RType]] = None,
         feedback_override: Optional[Dict[int, Any]] = None,
+        entry_ctx=None,
+        unbox_params: bool = True,
     ):
         self.vm = vm
         self.code = code
@@ -278,6 +280,14 @@ class GraphBuilder:
         self.entry_var_types = entry_var_types or {}
         self.entry_stack_types = entry_stack_types or []
         self.is_continuation = is_continuation
+        #: CallContext assumed proven at entry (contextual dispatch): formals
+        #: start at the context's types instead of ANY, so the argument
+        #: guards the profile would request are dropped from the body —
+        #: they are checked once, at dispatch.  ``unbox_params`` additionally
+        #: lets unboxable typed params bind their raw scalar payload (the
+        #: inliner passes False: spliced args are boxed IR values).
+        self.entry_ctx = entry_ctx
+        self.unbox_params = unbox_params
         #: pc -> RType injected by deoptless feedback repair (the observed
         #: type of the value that failed the guard; overrides feedback).
         self.injected_types = injected_types or {}
@@ -369,9 +379,14 @@ class GraphBuilder:
         entry = AbsState(list(self.entry_stack_types), entry_vars)
         if (self.closure is not None and self.entry_pc == 0
                 and not self.env_mode and not self.is_continuation):
-            for fname, default in self.closure.formals:
+            ctx = self.entry_ctx
+            for i, (fname, default) in enumerate(self.closure.formals):
                 if fname not in entry.vars:
-                    entry.vars[fname] = ANY
+                    if ctx is not None and i < len(ctx.arg_types):
+                        # proven at dispatch, free to assume here
+                        entry.vars[fname] = ctx.arg_types[i]
+                    else:
+                        entry.vars[fname] = ANY
         self.in_states = {self.entry_pc: entry}
         work = [self.entry_pc]
         iterations = 0
@@ -568,8 +583,15 @@ class GraphBuilder:
 
         if not self.is_continuation and self.entry_pc == 0 and self.closure is not None:
             if not self.env_mode:
+                ctx = self.entry_ctx
                 for i, (fname, default) in enumerate(self.closure.formals):
-                    p = I.Param(i, fname, ANY)
+                    t = ANY
+                    if ctx is not None and i < len(ctx.arg_types):
+                        t = ctx.arg_types[i]
+                    p = I.Param(i, fname, t)
+                    if self.unbox_params and t.unboxable:
+                        # dispatch binds the raw payload into this register
+                        p.unboxed = True
                     bb.append(p)
                     g.params.append(p)
                     vals.vars[fname] = p

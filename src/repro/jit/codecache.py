@@ -50,7 +50,7 @@ from ..bytecode.feedback import (
     CallFeedback,
     ObservedType,
 )
-from ..deoptless.context import DeoptContext
+from ..deoptless.context import CallContext, DeoptContext
 from ..runtime.rtypes import RType
 from ..runtime.values import NULL, RBuiltin, RClosure, RNull, RVector
 
@@ -198,11 +198,19 @@ def _slot_sig(fb: Any) -> Optional[tuple]:
     if isinstance(fb, CallFeedback):
         if fb.count == 0 and not fb.targets and not fb.megamorphic:
             return None
+        # the argument-kind profile is decision-relevant: the inliner builds
+        # the callee under a static entry context, so units compiled from a
+        # mono- vs poly-typed site profile can differ
+        profiles = (
+            tuple(tuple(k.name for k in p) for p in fb.arg_profiles)
+            if fb.arg_profiles is not None else "poly"
+        )
         return (
             "call",
             tuple(_target_ref(t) for t in fb.targets),
             fb.megamorphic,
             fb.stale,
+            profiles,
         )
     return None
 
@@ -268,6 +276,9 @@ def config_key(config) -> tuple:
         config.unsound_drop_deopt_exits,
         config.unsound_continuation_escape,
         config.deoptless_feedback_repair,
+        # entry contextual dispatch changes generic units too (the inliner
+        # splices context-matched callee builds when it is on)
+        config.ctxdispatch,
     )
 
 
@@ -308,6 +319,23 @@ def continuation_key(code: CodeObject, ctx: DeoptContext, config,
         stable_code_hash(code),
         ctx,
         feedback_signature(code, config, feedback),
+        config_key(config),
+    )
+
+
+def context_entry_key(closure: RClosure, ctx: CallContext, config,
+                      feedback: Optional[Dict[int, Any]] = None) -> tuple:
+    """Key for an entry-context-specialized version of ``closure``: the
+    whole-function key plus the assumed :class:`CallContext` the version was
+    compiled under.  ``key[1]`` stays the plain body-code hash so narrow
+    invalidation (:meth:`CodeCache.invalidate_context`) and the disk bucket
+    file under the same tag as the generic version."""
+    return (
+        "ctxfn",
+        stable_code_hash(closure.code),
+        _formals_sig(closure),
+        ctx,
+        feedback_signature(closure.code, config, feedback),
         config_key(config),
     )
 
@@ -393,6 +421,10 @@ def _stabilize(value: Any, resolver: WorldResolver, out: list) -> None:
     elif isinstance(value, DeoptContext):
         out.append("ctx(")
         _canon(value.stable_parts(resolver.stable_ref), out)
+        out.append(")")
+    elif isinstance(value, CallContext):
+        out.append("callctx(")
+        _canon(value.stable_parts(), out)
         out.append(")")
     elif isinstance(value, (tuple, list)):
         out.append("(")
@@ -572,6 +604,25 @@ class CodeCache:
         if doomed and vm is not None:
             vm.state.codecache_invalidations += len(doomed)
             vm.state.emit("codecache_invalidate", code.name, entries=len(doomed))
+        return len(doomed)
+
+    def invalidate_context(self, code: CodeObject, ctx, vm=None) -> int:
+        """Drop only the ``"ctxfn"`` entries for ``code`` compiled under
+        ``ctx``.  A deopt inside one entry-specialized version widens
+        nothing about its siblings or the generic unit — the narrow
+        counterpart of :meth:`invalidate_code`."""
+        h = stable_code_hash(code)
+        doomed = [
+            k for k, e in self.entries.items()
+            if e.code_hash == h and k[0] == "ctxfn" and k[3] == ctx
+        ]
+        for k in doomed:
+            entry = self.entries.pop(k)
+            self.total_size -= entry.size
+        if doomed and vm is not None:
+            vm.state.codecache_invalidations += len(doomed)
+            vm.state.emit("codecache_invalidate", code.name, entries=len(doomed),
+                          unit="ctxfn")
         return len(doomed)
 
     # -- persistence ----------------------------------------------------------

@@ -35,6 +35,12 @@ def _codecache_dir_default():
     return os.environ.get("RERPO_CODECACHE_DIR", os.environ.get("REPRO_CODECACHE_DIR")) or None
 
 
+def _ctxdispatch_default() -> bool:
+    """Entry contextual dispatch is on by default; ``RERPO_CTXDISPATCH=0``
+    reverts to the single-version-per-closure baseline (CI covers it)."""
+    return os.environ.get("RERPO_CTXDISPATCH", os.environ.get("REPRO_CTXDISPATCH", "1")) != "0"
+
+
 def _tierup_default() -> str:
     """Tier-up drain mode: ``sync`` (compile inline), ``step`` (explicit
     budgeted drain) or ``bg`` (worker thread).  ``RERPO_REF_EXEC=1`` forces
@@ -105,6 +111,24 @@ class Config:
     tierup_mode: str = field(default_factory=_tierup_default)
     #: default compiled-instruction budget per ``drain()`` call (0: unbounded)
     tierup_drain_budget: int = 2000
+
+    # -- entry contextual dispatch (deoptless/dispatch.VersionTable) --------------
+    #: dispatch function entries on a distilled CallContext: polymorphic
+    #: call sites split into per-context compiled versions (argument guards
+    #: hoisted to the dispatch check, unboxed parameter passing) instead of
+    #: widening the single generic version
+    ctxdispatch: bool = field(default_factory=_ctxdispatch_default)
+    #: specialized versions per closure, on top of the generic fall-through
+    dispatch_versions: int = 4
+    #: distinct entry contexts a closure must exhibit before versions are
+    #: compiled (1 would specialize monomorphic entries, pure overhead)
+    dispatch_min_contexts: int = 2
+    #: deopts attributed to one context before it stops being respecialized
+    dispatch_max_context_deopts: int = 2
+    #: when a dispatch/version table is full, evict the entry with the
+    #: lowest (hit count, specificity) instead of refusing the insert.
+    #: Default off: the paper's tables refuse at the bound.
+    dispatch_evict: bool = False
 
     # -- deoptless (the paper's contribution) -----------------------------------
     enable_deoptless: bool = False

@@ -184,6 +184,10 @@ def serialize(ncode: NativeCode, root_code: CodeObject, resolver: WorldResolver)
     """
     state = {f: getattr(ncode, f) for f in _NC_FIELDS}
     state["deoptless_ctx"] = getattr(ncode, "deoptless_ctx", None)
+    # optional extensions ride as .get-defaulted keys so artifacts written
+    # before they existed still load under the same FORMAT_VERSION
+    state["param_unbox"] = getattr(ncode, "param_unbox", None)
+    state["call_context"] = getattr(ncode, "call_context", None)
     buf = io.BytesIO()
     try:
         _Pickler(buf, root_code, resolver).dump((FORMAT_VERSION, state))
@@ -216,6 +220,9 @@ def deserialize(data: bytes, root_code: CodeObject, resolver: WorldResolver) -> 
     nc.threaded = None
     nc.pics = {}
     nc.cache_template = None
+    nc.param_unbox = state.get("param_unbox")
+    nc.call_context = state.get("call_context")
+    nc.is_context_version = False
     if state.get("deoptless_ctx") is not None:
         nc.deoptless_ctx = state["deoptless_ctx"]
     return nc

@@ -59,6 +59,18 @@ class Telemetry:
         #: counter is kept out of dispatch_signature() — it describes how a
         #: call was dispatched, not what was executed.
         self.pic_hits = 0
+        #: entry contextual dispatch (deoptless/dispatch.VersionTable).  Like
+        #: pic_hits, these describe how a call was dispatched / how code was
+        #: obtained and stay out of dispatch_signature(); the compiles/ops
+        #: they cause are already covered by the signature counters.
+        self.ctx_dispatches = 0
+        self.ctx_compiles = 0
+        #: dispatches served by the PIC's (callee, context) -> version cache
+        self.ctx_pic_hits = 0
+        #: version/dispatch-table entries displaced by Config.dispatch_evict
+        self.dispatch_evictions = 0
+        #: inserts refused because a dispatch/version table was full
+        self.dispatch_refusals = 0
         #: context-keyed code cache (jit/codecache.py).  All cache counters
         #: are kept out of dispatch_signature(): hit/miss totals describe how
         #: code was *obtained*, and legitimately differ cache-on vs cache-off
@@ -182,6 +194,11 @@ class Telemetry:
             "kernel_elements": self.kernel_elements,
             "inlined_frames": self.inlined_frames,
             "pic_hits": self.pic_hits,
+            "ctx_dispatches": self.ctx_dispatches,
+            "ctx_compiles": self.ctx_compiles,
+            "ctx_pic_hits": self.ctx_pic_hits,
+            "dispatch_evictions": self.dispatch_evictions,
+            "dispatch_refusals": self.dispatch_refusals,
             "codecache_hits": self.codecache_hits,
             "codecache_misses": self.codecache_misses,
             "codecache_instrs_saved": self.codecache_instrs_saved,

@@ -30,7 +30,8 @@ from typing import Any, List, Optional
 from ..bytecode import interpreter
 from ..bytecode.compiler import CodeObject, Compiler
 from ..deoptless import engine as deoptless_engine
-from ..deoptless.dispatch import DispatchTable
+from ..deoptless.context import distill_call_context
+from ..deoptless.dispatch import DispatchTable, VersionTable
 from ..ir.builder import CompilationFailure, GraphBuilder
 from ..native.executor import execute
 from ..native.lower import NativeCode, lower
@@ -52,17 +53,31 @@ class ClosureJitState:
 
     __slots__ = (
         "call_count", "version", "deoptless_table", "deopt_count",
-        "cant_compile", "default_consts",
+        "cant_compile", "default_consts", "versions", "seen_contexts",
+        "ctx_fail_counts",
     )
 
-    def __init__(self, max_continuations: int):
+    def __init__(self, config: Config):
         self.call_count = 0
         self.version: Optional[NativeCode] = None
-        self.deoptless_table = DispatchTable(max_continuations)
+        self.deoptless_table = DispatchTable(
+            config.deoptless_max_continuations, evict=config.dispatch_evict
+        )
         self.deopt_count = 0
         self.cant_compile = False
         #: positional default values when all defaults are constants
         self.default_consts: Optional[List[Any]] = None
+        #: entry-specialized compiled versions keyed by CallContext; the
+        #: generic ``version`` above is the dispatch fall-through and is
+        #: deliberately not a table entry (lazily allocated — most closures
+        #: are monomorphic and never pay for a table)
+        self.versions: Optional[VersionTable] = None
+        #: distinct distilled contexts observed at tiered-up entries; a
+        #: closure is specialized only once this shows real polymorphism
+        self.seen_contexts: Optional[List[Any]] = None
+        #: CallContext -> deopt count inside that version; a context that
+        #: keeps mis-speculating stops being recompiled
+        self.ctx_fail_counts: Optional[dict] = None
 
 
 class RVM:
@@ -128,7 +143,7 @@ class RVM:
     def jit_state(self, closure: RClosure) -> ClosureJitState:
         st = closure.jit
         if st is None:
-            st = closure.jit = ClosureJitState(self.config.deoptless_max_continuations)
+            st = closure.jit = ClosureJitState(self.config)
         return st
 
     def call_closure(self, closure: RClosure, args: List[Any], names) -> Any:
@@ -151,10 +166,28 @@ class RVM:
             if ncode.env_elided:
                 pos = self._match_native(closure, st, args, names)
                 if pos is not None:
+                    if self.config.ctxdispatch:
+                        ver = self._dispatch_context_version(closure, st, pos)
+                        if ver is not None:
+                            return execute(ver, pos, self, closure_env=closure.env)
                     return execute(ncode, pos, self, closure_env=closure.env)
             else:
                 env = interpreter.match_arguments(closure, args, names, self)
                 return execute(ncode, [env], self, closure_env=closure.env)
+        elif (
+            self.config.ctxdispatch
+            and st.versions is not None
+            and len(st.versions)
+        ):
+            # the generic version was retired (or is still re-warming) but
+            # entry-specialized siblings survive: calls matching an installed
+            # context keep running native — a deopt in one version must not
+            # push the others back to the interpreter
+            pos = self._match_native(closure, st, args, names)
+            if pos is not None:
+                ver = self._dispatch_context_version(closure, st, pos, compile_ok=False)
+                if ver is not None:
+                    return execute(ver, pos, self, closure_env=closure.env)
 
         env = interpreter.match_arguments(closure, args, names, self)
         return interpreter.run(closure.code, env, self, closure=closure)
@@ -201,6 +234,128 @@ class RVM:
             if isinstance(v, RVector):
                 v.named = 2
         return slots
+
+    # ------------------------------------------------------------------
+    # entry contextual dispatch (per-call-context compiled versions)
+    # ------------------------------------------------------------------
+
+    def _dispatch_context_version(self, closure: RClosure, st: ClosureJitState,
+                                  pos: List[Any], compile_ok: bool = True
+                                  ) -> Optional[NativeCode]:
+        """Resolve an entry-specialized version for this call's distilled
+        context (most-specific-first table scan), possibly compiling a new
+        one when the entry has proven polymorphic.  None means: run the
+        generic fall-through."""
+        cfg = self.config
+        if len(pos) != len(closure.formals):
+            return None
+        ctx = distill_call_context(pos)
+        if ctx is None:
+            return None
+        vt = st.versions
+        if vt is not None:
+            ver = vt.dispatch(ctx)
+            if ver is not None:
+                if not ver.invalidated:
+                    self.state.ctx_dispatches += 1
+                    return ver
+                vt.remove(ver)
+        if not compile_ok:
+            return None
+        # collect distinct contexts; specialize only genuinely polymorphic
+        # entries (a monomorphic closure's generic version is already ideal)
+        seen = st.seen_contexts
+        if seen is None:
+            seen = st.seen_contexts = []
+        if ctx not in seen:
+            if len(seen) >= 8:
+                return None
+            seen.append(ctx)
+        if len(seen) < cfg.dispatch_min_contexts:
+            return None
+        if st.cant_compile or st.deopt_count >= cfg.max_deopts_per_function:
+            return None
+        fails = st.ctx_fail_counts
+        if fails is not None and fails.get(ctx, 0) >= cfg.dispatch_max_context_deopts:
+            return None
+        if vt is not None and vt.full and not cfg.dispatch_evict:
+            # checked before compiling so a saturated table costs nothing
+            self.state.dispatch_refusals += 1
+            return None
+        return self._compile_context_version(closure, st, ctx)
+
+    def _compile_context_version(self, closure: RClosure, st: ClosureJitState,
+                                 ctx) -> Optional[NativeCode]:
+        """Compile (or fetch from the code cache) the version assuming
+        ``ctx`` at entry and install it into the closure's version table."""
+        key = None
+        if self.code_cache is not None:
+            key = codecache.context_entry_key(closure, ctx, self.config)
+            template = self.code_cache.lookup(key, self, closure.code)
+            if template is not None:
+                ncode = template.clone_for_install()
+                ncode.closure = closure
+                ncode.is_context_version = True
+                ncode.call_context = ctx
+                if not self._install_version(st, ctx, ncode):
+                    return None
+                self.state.code_size += ncode.size
+                self.state.emit("codecache_hit", closure.name, unit="ctxfn",
+                                size=ncode.size)
+                return ncode
+        try:
+            builder = GraphBuilder(self, closure.code, closure, entry_ctx=ctx)
+            graph = builder.build()
+            optimize(graph, self.config, vm=self)
+            ncode = lower(graph, drop_deopt_exits=self.config.unsound_drop_deopt_exits)
+        except CompilationFailure:
+            self._ctx_stop(st, ctx)
+            return None
+        if not ncode.env_elided:
+            # an env-mode unit takes the [env] calling convention — useless
+            # as an entry-dispatched version; don't keep trying this context
+            self._ctx_stop(st, ctx)
+            return None
+        ncode.closure = closure
+        ncode.is_context_version = True
+        ncode.call_context = ctx
+        if not self._install_version(st, ctx, ncode):
+            return None
+        self.state.compiles += 1
+        self.state.compiled_instrs += ncode.size
+        self.state.code_size += ncode.size
+        self.state.ctx_compiles += 1
+        self.state.emit("ctx_compile", closure.name, size=ncode.size,
+                        specificity=ctx.specificity(),
+                        n_versions=len(st.versions) if st.versions else 0)
+        if key is not None:
+            self.code_cache.insert(key, ncode, self, closure.code)
+        return ncode
+
+    def _install_version(self, st: ClosureJitState, ctx, ncode: NativeCode) -> bool:
+        vt = st.versions
+        if vt is None:
+            vt = st.versions = VersionTable(
+                self.config.dispatch_versions, evict=self.config.dispatch_evict
+            )
+        if not vt.insert(ctx, ncode):
+            self.state.dispatch_refusals += 1
+            return False
+        victim = vt.last_evicted
+        if victim is not None:
+            vt.last_evicted = None
+            victim.code.invalidated = True
+            self.state.code_size -= victim.code.size
+            self.state.dispatch_evictions += 1
+            self.state.invalidations += 1
+        return True
+
+    def _ctx_stop(self, st: ClosureJitState, ctx) -> None:
+        """Stop attempting to specialize ``ctx`` (compile failed / env mode)
+        without poisoning the closure's generic compilation."""
+        if st.ctx_fail_counts is None:
+            st.ctx_fail_counts = {}
+        st.ctx_fail_counts[ctx] = self.config.dispatch_max_context_deopts
 
     # ------------------------------------------------------------------
     # compilation
@@ -328,14 +483,30 @@ class RVM:
             # this code differs, so entries under the old context are dead.
             # Chaos deopts are exempt — they change no feedback, and serving
             # the identical recompile from cache is precisely the win.
-            self.code_cache.invalidate_code(fs.code, self)
-            if fun is not None and fun.code is not fs.code:
-                self.code_cache.invalidate_code(fun.code, self)
+            if origin is not None and origin.is_context_version:
+                # an entry-specialized version mis-speculated: only its own
+                # cache entry dies; sibling contexts' units stay valid (they
+                # never assumed what this one assumed)
+                target = fun.code if fun is not None else fs.code
+                self.code_cache.invalidate_context(target, origin.call_context, self)
+                if fun is not None and fun.code is not fs.code:
+                    self.code_cache.invalidate_code(fs.code, self)
+            else:
+                self.code_cache.invalidate_code(fs.code, self)
+                if fun is not None and fun.code is not fs.code:
+                    self.code_cache.invalidate_code(fun.code, self)
         if fun is not None and fun.jit is not None:
             st = fun.jit
             if reason.kind in CATASTROPHIC_REASONS:
                 self._retire(st)
                 st.deoptless_table.clear()
+                if st.versions is not None and len(st.versions):
+                    # catastrophic reasons invalidate every assumption the
+                    # entry versions were built on too
+                    for e in st.versions.iter_entries():
+                        e.code.invalidated = True
+                        self.state.code_size -= e.code.size
+                    st.versions.clear()
                 self.state.invalidations += 1
             elif origin is not None and origin.is_deoptless_continuation:
                 # a deoptless continuation mis-speculated: drop it; a real
@@ -347,6 +518,23 @@ class RVM:
                     self._retire(st)
                     st.deopt_count += 1
                     st.call_count = 0
+            elif origin is not None and origin.is_context_version:
+                # per-version invalidation: retire exactly this specialized
+                # version — the generic fall-through and every sibling
+                # context stay installed and dispatchable (no reprofiling,
+                # no call-count reset: nothing they assumed was refuted)
+                if not origin.invalidated:
+                    if st.versions is not None:
+                        st.versions.remove(origin)
+                    origin.invalidated = True
+                    self.state.code_size -= origin.size
+                    self.state.invalidations += 1
+                if reason.kind != DeoptReasonKind.CHAOS:
+                    fails = st.ctx_fail_counts
+                    if fails is None:
+                        fails = st.ctx_fail_counts = {}
+                    c = origin.call_context
+                    fails[c] = fails.get(c, 0) + 1
             else:
                 self._retire(st)
                 st.deopt_count += 1

@@ -188,6 +188,14 @@ class NativeCode:
         #: bulk-kernel descriptors, indexed by the kernel ops' operand
         self.kernels: List[KernelDescr] = []
         self.param_regs: List[int] = []
+        #: per-param element Kind when the register takes the raw scalar
+        #: (entry-context compiles with unboxed parameter passing), else
+        #: None for the whole list when every param is boxed
+        self.param_unbox: Optional[List[Optional[Any]]] = None
+        #: entry contextual dispatch: the CallContext this unit assumes
+        #: (checked once at dispatch) and the per-install specialization flag
+        self.call_context = None
+        self.is_context_version = False
         self.env_reg: Optional[int] = None
         self.env_elided = graph.env_elided
         self.cont_var_names = graph.cont_var_names
@@ -228,6 +236,9 @@ class NativeCode:
         clone.deopts = self.deopts
         clone.kernels = self.kernels
         clone.param_regs = self.param_regs
+        clone.param_unbox = self.param_unbox
+        clone.call_context = self.call_context
+        clone.is_context_version = False
         clone.env_reg = self.env_reg
         clone.env_elided = self.env_elided
         clone.cont_var_names = self.cont_var_names
@@ -342,10 +353,18 @@ class Lowerer:
             if isinstance(ins, I.Const):
                 r = self.reg(ins)
         # params
+        unbox_kinds: List[Any] = []
         for p in g.params:
             self.nc.param_regs.append(self.reg(p))
+            unbox_kinds.append(
+                p.type.kind if isinstance(p, I.Param) and p.unboxed else None
+            )
             if isinstance(p, I.EnvParam):
                 self.nc.env_reg = self.reg(p)
+        if any(k is not None for k in unbox_kinds):
+            # entry-context compile: the dispatcher binds raw scalars into
+            # these registers (args are pre-checked against the context)
+            self.nc.param_unbox = unbox_kinds
 
         fused = self._find_fused_guards()
 

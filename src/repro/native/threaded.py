@@ -1011,8 +1011,15 @@ def execute_threaded(ncode: NativeCode, args: List[Any], vm, closure_env=None) -
     if handlers is None:
         handlers = compile_threaded(ncode)
     regs = list(ncode.reg_init)
-    for r, a in zip(ncode.param_regs, args):
-        regs[r] = a
+    pu = ncode.param_unbox
+    if pu is None:
+        for r, a in zip(ncode.param_regs, args):
+            regs[r] = a
+    else:
+        # entry-specialized version: contextual dispatch already proved the
+        # argument shapes, so unboxable params bind their raw scalar payload
+        for r, a, k in zip(ncode.param_regs, args, pu):
+            regs[r] = a if k is None else a.data[0]
     if closure_env is None and ncode.closure is not None:
         closure_env = ncode.closure.env
 

@@ -46,6 +46,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..bytecode import opcodes as O
+from ..deoptless.context import CallContext
 from ..ir import instructions as I
 from ..ir.builder import CompilationFailure, GraphBuilder, _const_default, env_escapes
 from ..ir.cfg import Graph
@@ -175,8 +176,23 @@ def _try_inline(graph: Graph, vm, call: I.StaticCall, budget_left: int):
         if any(defaults[j] is _MISSING for j in range(nargs, len(formals))):
             return None
 
+    # When the argument types are statically known at the splice site, build
+    # the callee under that entry context: the context-matched version of
+    # the body, with its redundant entry guards dropped (they are implied by
+    # the caller's types).  Params stay boxed — the substituted argument
+    # values are boxed IR values, not dispatch-unboxed registers.
+    sub_ctx = None
+    if config.ctxdispatch:
+        ats = [a.type for a in call.args]
+        if defaults is not None:
+            ats += [rtype_quick(defaults[j]) for j in range(nargs, len(formals))]
+        if len(ats) == len(formals) and any(t.kind is not Kind.ANY for t in ats):
+            sub_ctx = CallContext(
+                tuple(ats), tuple(t.kind is not Kind.ANY for t in ats)
+            )
     try:
-        sub = GraphBuilder(vm, code, target).build()
+        sub = GraphBuilder(vm, code, target,
+                           entry_ctx=sub_ctx, unbox_params=False).build()
     except CompilationFailure:
         return None
     if not sub.env_elided:

@@ -30,8 +30,13 @@ SETUP = (
 
 def cache_vm(**kw):
     # codecache=True explicitly: these tests exercise the cache even on the
-    # RERPO_CODECACHE=0 CI leg (only the *default* comes from the env)
-    cfg = dict(compile_threshold=2, enable_deoptless=True, codecache=True)
+    # RERPO_CODECACHE=0 CI leg (only the *default* comes from the env).
+    # ctxdispatch off: these scenarios drive mixed-type calls into the
+    # *generic* version to provoke deopts/recoveries; contextual dispatch
+    # would hand them a specialized entry version first (tested separately
+    # in test_context_dispatch.py).
+    cfg = dict(compile_threshold=2, enable_deoptless=True, codecache=True,
+               ctxdispatch=False)
     cfg.update(kw)
     vm = make_vm(**cfg)
     vm.eval(SUM_SRC)
@@ -71,8 +76,10 @@ def test_stable_code_hash_differs_on_body():
 def test_feedback_signature_reflects_observed_kinds():
     # deoptless off: the dbl calls deopt back to the profiling interpreter,
     # which widens the recorded feedback (with deoptless on, the dispatched
-    # continuation handles them and feedback — intentionally — stays put)
-    vm = cache_vm(enable_deoptless=False)
+    # continuation handles them and feedback — intentionally — stays put;
+    # likewise contextual dispatch would hand them a dbl entry version
+    # before the generic code ever deopts, so it is off here too)
+    vm = cache_vm(enable_deoptless=False, ctxdispatch=False)
     clo = vm.global_env.get("sumfn")
     warm(vm)
     sig_int = codecache.feedback_signature(clo.code, vm.config)
@@ -277,7 +284,10 @@ def test_save_is_atomic_and_mergeable(tmp_path):
     vm1 = cache_vm(codecache_dir=d)
     warm(vm1)
     vm1.save_code_cache()
-    vm2 = make_vm(compile_threshold=2, codecache=True, codecache_dir=d)
+    # ctxdispatch pinned to match cache_vm: config_key is part of every
+    # cache key, so vm3 only disk-hits entries saved under the same flags
+    vm2 = make_vm(compile_threshold=2, codecache=True, codecache_dir=d,
+                  ctxdispatch=False)
     vm2.eval("twice <- function(x) x * 2")
     for _ in range(5):
         vm2.eval("twice(21L)")

@@ -17,7 +17,10 @@ sumfn <- function(data, len) {
 
 
 def deoptless_vm(**kw):
-    cfg = dict(enable_deoptless=True, compile_threshold=2)
+    # ctxdispatch off: these tests provoke deopts in the generic version by
+    # switching argument types; contextual dispatch would intercept those
+    # calls with a specialized entry version before deoptless ever runs
+    cfg = dict(enable_deoptless=True, compile_threshold=2, ctxdispatch=False)
     cfg.update(kw)
     vm = make_vm(**cfg)
     vm.eval(SUM_SRC)

@@ -173,6 +173,59 @@ def test_inlined_calls_agree_across_tiers_and_engines(src, n):
     assert sigs[0] == sigs[1], src
 
 
+@st.composite
+def polymorphic_entry_program(draw):
+    """One closure called with alternating argument contexts — contextual-
+    dispatch fodder.  The callee loops (so it keeps its call boundary) and
+    mixes the vector elements with a scalar, so each entry context gets a
+    genuinely different specialized body.
+    """
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    acc_init = draw(st.sampled_from(["0", "0L"]))
+    k = draw(st.integers(1, 3))
+    return """
+pksum <- function(v, n, k) {
+  t <- %s
+  i <- 1
+  while (i <= n) {
+    t <- t + v[[i]] %s k
+    i <- i + 1
+  }
+  t
+}
+""" % (acc_init, op)
+
+
+@given(polymorphic_entry_program(), vectors, st.integers(1, 9))
+@settings(max_examples=20, deadline=None)
+def test_entry_contexts_agree_across_tiers_and_engines(src, xs, rounds):
+    """The same call site alternates int, real, and logical vector
+    arguments: with contextual dispatch each context gets its own entry
+    version, and the results and the dispatch signature must be identical
+    between the threaded and reference executors (and match the pure
+    interpreter's results)."""
+    n = len(xs)
+    ivec = "c(%s)" % ", ".join("%dL" % x for x in xs)
+    dvec = "c(%s)" % ", ".join("%d.5" % x for x in xs)
+    lvec = "c(%s)" % ", ".join("TRUE" if x > 0 else "FALSE" for x in xs)
+    calls = []
+    for _ in range(rounds):
+        for vec in (ivec, dvec, lvec):
+            calls.append("pksum(%s, %dL, 2L)" % (vec, n))
+    vm_ref = make_vm(enable_jit=False)
+    vm_ref.eval(src)
+    expected = [from_r(vm_ref.eval(c)) for c in calls]
+    sigs = []
+    for threaded in (False, True):
+        vm = make_vm(compile_threshold=1, osr_threshold=50,
+                     ctxdispatch=True, threaded_dispatch=threaded)
+        vm.eval(src)
+        got = [from_r(vm.eval(c)) for c in calls]
+        assert got == expected, (src, got, expected)
+        sigs.append(vm.state.dispatch_signature())
+    assert sigs[0] == sigs[1], src
+
+
 @given(inline_program(), st.integers(2, 10), st.integers(0, 2**31))
 @settings(max_examples=12, deadline=None)
 def test_chaos_deopts_inside_inlined_bodies(src, n, seed):

@@ -145,7 +145,9 @@ def test_call_target_reason_injects_new_target():
 def test_end_to_end_continuation_does_not_misspeculate():
     """The full section 4.3 scenario: the continuation compiled right after
     the exp typecheck failure must run without further deopts."""
-    vm = make_vm(enable_deoptless=True, compile_threshold=2)
+    # ctxdispatch off: the double key must reach the *generic* version and
+    # deopt there, not get its own entry-specialized version
+    vm = make_vm(enable_deoptless=True, compile_threshold=2, ctxdispatch=False)
     vm.eval(POWMOD_SRC)
     for i in range(5):
         vm.eval("powmod(%dL, 13L, 497L)" % (i + 2))

@@ -77,6 +77,10 @@ sumfn <- function(data, len) {
 
 
 def warmed(src, warm_calls, **cfg):
+    # ctxdispatch off: the OSR-out tests below switch argument types to force
+    # a deopt in the generic version; contextual dispatch would serve those
+    # calls a specialized entry version instead
+    cfg.setdefault("ctxdispatch", False)
     vm = make_vm(**cfg)
     vm.eval(src)
     for c in warm_calls:

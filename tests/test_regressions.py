@@ -12,7 +12,9 @@ def test_continuation_entering_mid_loop_gets_phis():
     """A deoptless continuation entering in the middle of a loop body used
     to read stale entry registers forever (the entry block has an extra
     IR-only predecessor)."""
-    vm = make_vm(enable_deoptless=True, compile_threshold=2)
+    # ctxdispatch off: the dbl call must deopt in the generic version so a
+    # deoptless continuation gets compiled (the scenario under test)
+    vm = make_vm(enable_deoptless=True, compile_threshold=2, ctxdispatch=False)
     vm.eval("""
 sumfn <- function(data, len) {
   total <- 0
@@ -43,7 +45,9 @@ def test_scalar_guarded_value_used_as_vector_is_reboxed():
 def test_doomed_guard_not_emitted_for_kind_change():
     """Stale int feedback on a statically-double variable must not produce
     an is-int guard (it would deopt unconditionally)."""
-    vm = make_vm(enable_deoptless=True, compile_threshold=2)
+    # ctxdispatch off: the double-keyed call must reach the generic version
+    # (the stale-feedback guard decision under test lives there)
+    vm = make_vm(enable_deoptless=True, compile_threshold=2, ctxdispatch=False)
     vm.eval("""
 powmod <- function(base, exp, mod) {
   result <- 1L

@@ -99,7 +99,9 @@ def test_telemetry_snapshot_keys():
 
 
 def test_code_size_tracks_retirement():
-    vm = make_vm(compile_threshold=1)
+    # ctxdispatch off: the dbl call must deopt and retire the generic
+    # version, not dispatch to a specialized sibling that stays resident
+    vm = make_vm(compile_threshold=1, ctxdispatch=False)
     vm.eval("f <- function(v, n) { s <- 0\nfor (i in 1:n) s <- s + v[[i]]\ns }")
     vm.eval("xi <- c(1L, 2L)")
     for _ in range(3):
@@ -110,7 +112,9 @@ def test_code_size_tracks_retirement():
 
 
 def test_deopt_resets_warmup_counter():
-    vm = make_vm(compile_threshold=3)
+    # ctxdispatch off: the dbl call must deopt in the generic version (a
+    # specialized entry version would handle it without re-warming)
+    vm = make_vm(compile_threshold=3, ctxdispatch=False)
     vm.eval("f <- function(v, n) { s <- 0\nfor (i in 1:n) s <- s + v[[i]]\ns }")
     vm.eval("xi <- c(1L, 2L)")
     for _ in range(5):
