@@ -11,7 +11,12 @@ The placement policy lives in ``repro.bench.harness.save_json``:
   ``benchmarks/results/`` for two releases);
 * scratch results belong in ``benchmarks/results/`` (gitignored) — a
   ``BENCH_*`` file anywhere else in the tree means some caller bypassed
-  ``save_json``.
+  ``save_json``;
+* every ``BENCH_*`` name a benchmark module asserts (``save_json("BENCH_x",
+  ...)`` in ``benchmarks/*.py``) must actually exist at the root — a
+  missing artifact means the producing benchmark was never run (or its
+  output was deleted) and CI would silently stop tracking that acceptance
+  bar.
 
 Run from anywhere inside the repo; exits non-zero with a report on any
 violation.
@@ -20,8 +25,12 @@ violation.
 from __future__ import annotations
 
 import os
+import re
 import subprocess
 import sys
+
+#: save_json("BENCH_<name>", ...) call sites in benchmark modules
+_SAVE_RE = re.compile(r"save_json\(\s*['\"](BENCH_[A-Za-z0-9_]+)['\"]")
 
 
 def repo_root() -> str:
@@ -68,8 +77,27 @@ def main() -> int:
                     % os.path.relpath(os.path.join(dirpath, name), root)
                 )
 
-    # 3. non-BENCH bench JSONs must be in benchmarks/results/ (scratch) —
-    #    check the canonical scratch dir exists if anything was produced
+    # 3. every BENCH_* artifact a benchmark module asserts must exist at
+    #    the root (missing-artifact detection: the benchmark was never run
+    #    or its output was lost)
+    bench_dir = os.path.join(root, "benchmarks")
+    expected = set()
+    self_name = os.path.basename(__file__)
+    for name in sorted(os.listdir(bench_dir)):
+        if not name.endswith(".py") or name == self_name:
+            continue
+        with open(os.path.join(bench_dir, name), "r") as f:
+            for m in _SAVE_RE.finditer(f.read()):
+                expected.add((m.group(1), name))
+    for artifact, producer in sorted(expected):
+        path = os.path.join(root, artifact + ".json")
+        if not os.path.exists(path):
+            errors.append(
+                "%s.json is asserted by benchmarks/%s but missing at the "
+                "repo root; run the benchmark and `git add %s.json`"
+                % (artifact, producer, artifact)
+            )
+
     if errors:
         print("benchmark artifact check FAILED:", file=sys.stderr)
         for e in errors:

@@ -1,6 +1,6 @@
-"""Dispatch micro-benchmark — vectorized vs threaded vs reference engines.
+"""Dispatch micro-benchmark — codegen vs vectorized vs threaded vs reference.
 
-Three layered acceptance bars on the native tier:
+Four layered acceptance bars on the native tier:
 
 * the closure-compiled threaded dispatch (superinstruction fusion + jump
   threading) must keep its >=1.3x geomean over the reference loops
@@ -16,7 +16,11 @@ Three layered acceptance bars on the native tier:
   call-heavy group — small closures invoked from hot loops.  The
   ``call_poly`` workload drives a genuinely megamorphic site through the
   polymorphic inline cache; it is not inlinable by design and is reported
-  separately (speedup ~1.0x, PIC hits on both configurations).
+  separately (speedup ~1.0x, PIC hits on both configurations);
+* the Python-codegen tier (``native/pycodegen.py`` — one specialized
+  exec'd function per unit, no per-op dispatch at all) must buy a >=1.5x
+  geomean over the threaded scalar engine across a mixed group of loop
+  kernels and call-heavy workloads (``BENCH_pycodegen.json``).
 
 All three engines must produce identical dispatch signatures: kernel
 accounting charges covered elements at exact scalar rates (the per-element
@@ -55,12 +59,26 @@ CALL_KERNELS = {
     "call_default": (6000, 60000),
 }
 
+#: the codegen group: a mixed bag of loop kernels and call-heavy workloads —
+#: the tier must pay for itself across both shapes, not just on one
+CODEGEN_KERNELS = {
+    "sum_phases": (4000, 40000),
+    "colsum": (200, 2000),
+    "call_scalar": (6000, 60000),
+    "call_default": (6000, 60000),
+    "spectralnorm": (16, 40),
+}
 
-def _time_engine(name, threaded, n, vectorize=False, warmup=3, iters=7):
+
+def _time_engine(name, threaded, n, vectorize=False, pycodegen=False,
+                 warmup=3, iters=7):
     w = REGISTRY.get(name)
     cfg = Config(compile_threshold=1, osr_threshold=50)
     cfg.threaded_dispatch = threaded
     cfg.vectorize = vectorize
+    # explicit, not defaulted: the threaded/reference baselines must stay
+    # what they claim to be even though codegen is the session default
+    cfg.pycodegen = pycodegen
     vm = RVM(cfg)
     vm.eval(w.source)
     vm.eval(w.setup_code(n))
@@ -235,3 +253,47 @@ def test_inline_speedup(bench_scale):
     )
     for name, speedup, _ in rows:
         assert speedup >= 1.1, "%s: inlining barely helps (%.2fx)" % (name, speedup)
+
+
+def test_pycodegen_speedup(bench_scale):
+    rows = []
+    payload = {"scale": bench_scale, "kernels": {}}
+    for name, (n_test, n_full) in CODEGEN_KERNELS.items():
+        n = n_full if bench_scale == "full" else n_test
+        c_time, c_sig, _ = _time_engine(name, threaded=True, n=n, pycodegen=True)
+        t_time, t_sig, _ = _time_engine(name, threaded=True, n=n)
+        r_time, r_sig, _ = _time_engine(name, threaded=False, n=n)
+        speedup = t_time / c_time
+        rows.append((name, speedup, "n=%d" % n))
+        payload["kernels"][name] = {
+            "n": n,
+            "codegen_s": c_time,
+            "threaded_s": t_time,
+            "reference_s": r_time,
+            "speedup_vs_threaded": speedup,
+            "speedup_vs_reference": r_time / c_time,
+            "native_ops": c_sig["native_ops"],
+        }
+        # the generated functions execute the same op stream: one signature
+        # across all three engines, only wall-clock may differ
+        assert c_sig == t_sig, "%s: codegen vs threaded diverged" % name
+        assert c_sig == r_sig, "%s: codegen vs reference diverged" % name
+
+    speedups = [s for _, s, _ in rows]
+    payload["geomean_speedup_vs_threaded"] = geomean(speedups)
+    path = save_json("BENCH_pycodegen", payload)
+    report(
+        "Codegen: exec'd per-unit functions vs threaded dispatch (native tier)",
+        format_speedup_table(rows)
+        + "\ngeomean %.2fx  (results -> %s)"
+        % (payload["geomean_speedup_vs_threaded"], path),
+    )
+
+    # acceptance: eliminating per-op dispatch must pay >=1.5x overall, and
+    # no workload may regress
+    assert payload["geomean_speedup_vs_threaded"] >= 1.5, (
+        "codegen below the 1.5x bar (%.2fx)"
+        % payload["geomean_speedup_vs_threaded"]
+    )
+    for name, speedup, _ in rows:
+        assert speedup >= 1.1, "%s: codegen barely helps (%.2fx)" % (name, speedup)

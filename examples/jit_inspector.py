@@ -85,6 +85,7 @@ def main() -> None:
     inspect_inlining()
     inspect_code_cache()
     inspect_context_dispatch()
+    inspect_vectorizer_declines()
 
 
 #: ``inc`` reads the free variable ``k`` from its lexical environment, so
@@ -270,6 +271,47 @@ def inspect_context_dispatch() -> None:
     for e in vm.state.events_of("ctx_compile"):
         details = {k: v for k, v in e.details.items()}
         print("  %-20s %-10s %s" % (e.kind, e.fn_name, details))
+
+
+#: spectralnorm in miniature: the hot loop calls a closure per element, so
+#: the vectorizer must refuse it — and now says why instead of silently
+#: reporting ``kernel_elements: 0``
+VEC_SRC = """
+av <- function(x) x / 2
+dot <- function(v, n) {
+  s <- 0
+  for (i in 1:n) s <- s + av(v[[i]])
+  s
+}
+plain <- function(v, n) {
+  s <- 0
+  for (i in 1:n) s <- s + v[[i]]
+  s
+}
+"""
+
+
+def inspect_vectorizer_declines() -> None:
+    """Why hot loops were (not) kernelized."""
+    vm = RVM(Config(compile_threshold=3, vectorize=True))
+    vm.eval(VEC_SRC)
+    vm.eval("x <- 1.5 * (1:32)")
+    for _ in range(6):
+        vm.eval("dot(x, 32L)")
+        vm.eval("plain(x, 32L)")
+
+    print()
+    print("=" * 70)
+    print("13. VECTORIZER DECLINES (why a loop was not kernelized)")
+    print("=" * 70)
+    print("  kernel_elements=%d  vec_declines=%d"
+          % (vm.state.kernel_elements, vm.state.vec_declines))
+    print("  declines by reason:")
+    for reason, count in sorted(vm.state.vec_decline_reasons.items()):
+        print("    %-28s %d" % (reason, count))
+    print("  decline log (fn, bytecode pc, reason):")
+    for fn, pc, reason in vm.state.vec_decline_log:
+        print("    %-12s pc %3d  %s" % (fn, pc, reason))
 
 
 if __name__ == "__main__":

@@ -18,6 +18,16 @@ def _threaded_default() -> bool:
     return os.environ.get("RERPO_REF_EXEC", os.environ.get("REPRO_REF_EXEC", "0")) != "1"
 
 
+def _pycodegen_default() -> bool:
+    """The Python-codegen execution tier is on by default;
+    ``RERPO_PYCODEGEN=0`` falls back to the threaded executor (CI covers
+    that leg).  ``RERPO_REF_EXEC=1`` implies it off — the reference-loop
+    leg must actually run the reference loops."""
+    if os.environ.get("RERPO_REF_EXEC", os.environ.get("REPRO_REF_EXEC", "0")) == "1":
+        return False
+    return os.environ.get("RERPO_PYCODEGEN", os.environ.get("REPRO_PYCODEGEN", "1")) != "0"
+
+
 def _inline_default() -> bool:
     """Speculative call-target inlining is on by default; ``RERPO_INLINE=0``
     disables the pass (CI covers the guarded-call path with this leg)."""
@@ -59,6 +69,13 @@ class Config:
     #: False runs the original if/elif reference loops, which must produce
     #: identical results and telemetry (tests/test_threaded_equivalence.py).
     threaded_dispatch: bool = field(default_factory=_threaded_default)
+    #: compile each NativeCode unit to one specialized exec'd Python
+    #: function (native/pycodegen.py) — the fastest tier.  Requires
+    #: ``threaded_dispatch`` (the reference leg turns both off); units the
+    #: emitter declines fall back to the threaded executor per-unit.
+    #: Deliberately absent from ``codecache.config_key``: like the engine
+    #: choice itself, it changes how units *run*, not what is lowered.
+    pycodegen: bool = field(default_factory=_pycodegen_default)
 
     # -- tiering ---------------------------------------------------------------
     #: enable the optimizing tier at all

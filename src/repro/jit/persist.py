@@ -39,6 +39,7 @@ import tempfile
 from typing import Any, Dict, Optional, Tuple
 
 from ..bytecode.compiler import CodeObject
+from ..native import pycodegen
 from ..native.lower import NativeCode
 from ..runtime.env import REnvironment
 from ..runtime.values import NULL, RBuiltin, RClosure, RNull
@@ -188,6 +189,19 @@ def serialize(ncode: NativeCode, root_code: CodeObject, resolver: WorldResolver)
     # before they existed still load under the same FORMAT_VERSION
     state["param_unbox"] = getattr(ncode, "param_unbox", None)
     state["call_context"] = getattr(ncode, "call_context", None)
+    # codegen-tier artifact (native/pycodegen.py): generated source + its
+    # constant pool ride with the unit so a warm start only re-compile()s
+    # the text instead of re-running the emitter.  The consts are pickled in
+    # the same stream as the ops, so shared runtime objects (identity-guard
+    # pins, builtins, CodeObjects) keep their identity on load.  Emission is
+    # forced eagerly here because the stable layer serializes at insert
+    # time, before the unit first runs.
+    if getattr(resolver.vm.config, "pycodegen", False):
+        pycodegen.ensure_source(ncode, resolver.vm.state)
+    src = getattr(ncode, "pysrc", None)
+    if src:
+        state["pycodegen_src"] = src
+        state["pycodegen_consts"] = getattr(ncode, "pyconsts", None)
     buf = io.BytesIO()
     try:
         _Pickler(buf, root_code, resolver).dump((FORMAT_VERSION, state))
@@ -223,6 +237,14 @@ def deserialize(data: bytes, root_code: CodeObject, resolver: WorldResolver) -> 
     nc.param_unbox = state.get("param_unbox")
     nc.call_context = state.get("call_context")
     nc.is_context_version = False
+    # restore the codegen artifact; the exec'd function is never persisted
+    # (it is process-local) but the source + consts make the first bind a
+    # compile()/exec with no emitter walk
+    nc.pysrc = state.get("pycodegen_src")
+    nc.pyconsts = state.get("pycodegen_consts")
+    nc.pyfunc = None
+    if nc.pysrc is not None:
+        resolver.vm.state.pycodegen_src_reuses += 1
     if state.get("deoptless_ctx") is not None:
         nc.deoptless_ctx = state["deoptless_ctx"]
     return nc

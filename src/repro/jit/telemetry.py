@@ -86,6 +86,22 @@ class Telemetry:
         #: compiled instructions NOT re-lowered thanks to cache hits
         self.codecache_instrs_saved = 0
         self.codecache_persist_failures = 0
+        #: Python-codegen tier (native/pycodegen.py).  Engine-dependent by
+        #: nature (the other engines never emit source) so all three stay
+        #: out of dispatch_signature(): units is emitter walks performed,
+        #: src_reuses counts units whose generated text rode in on a cache
+        #: artifact (warm starts skip codegen), failures counts units the
+        #: emitter declined (they run threaded).
+        self.pycodegen_units = 0
+        self.pycodegen_src_reuses = 0
+        self.pycodegen_failures = 0
+        #: vectorizer decline diagnostics (opt/vectorize.py): loops that
+        #: structurally looked like candidates but were rejected, total and
+        #: by reason, plus a bounded (fn, pc, reason) log for inspectors.
+        #: Compile-time analysis detail — snapshot()-only.
+        self.vec_declines = 0
+        self.vec_decline_reasons: Dict[str, int] = {}
+        self.vec_decline_log: List[tuple] = []
         #: background/step tier-up queue (jit/compile_queue.py)
         self.tierup_enqueues = 0
         self.tierup_installs = 0
@@ -202,6 +218,11 @@ class Telemetry:
             "codecache_hits": self.codecache_hits,
             "codecache_misses": self.codecache_misses,
             "codecache_instrs_saved": self.codecache_instrs_saved,
+            "pycodegen_units": self.pycodegen_units,
+            "pycodegen_src_reuses": self.pycodegen_src_reuses,
+            "pycodegen_failures": self.pycodegen_failures,
+            "vec_declines": self.vec_declines,
+            "vec_decline_reasons": dict(self.vec_decline_reasons),
             "tierup_enqueues": self.tierup_enqueues,
             "ir_verifies": self.ir_verifies,
             "allocations": self.allocations(),

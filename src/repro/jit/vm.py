@@ -33,6 +33,7 @@ from ..deoptless import engine as deoptless_engine
 from ..deoptless.context import distill_call_context
 from ..deoptless.dispatch import DispatchTable, VersionTable
 from ..ir.builder import CompilationFailure, GraphBuilder
+from ..native import pycodegen
 from ..native.executor import execute
 from ..native.lower import NativeCode, lower
 from ..opt.pipeline import optimize
@@ -321,6 +322,7 @@ class RVM:
         ncode.call_context = ctx
         if not self._install_version(st, ctx, ncode):
             return None
+        self._prepare_codegen(ncode)
         self.state.compiles += 1
         self.state.compiled_instrs += ncode.size
         self.state.code_size += ncode.size
@@ -406,11 +408,20 @@ class RVM:
             self.code_cache.insert(key, ncode, self, closure.code)
         ncode.closure = closure
         st.version = ncode
+        self._prepare_codegen(ncode)
         self.state.compiles += 1
         self.state.compiled_instrs += ncode.size
         self.state.code_size += ncode.size
         self.state.emit("compile", closure.name, size=ncode.size, env_elided=ncode.env_elided)
         return ncode
+
+    def _prepare_codegen(self, ncode: NativeCode) -> None:
+        """Codegen-tier install hook: emit the unit's specialized Python
+        source at install time (the cache-insert path may already have done
+        it; ``ensure_source`` is idempotent).  Binding — compile()/exec —
+        stays lazy: clones share the template's bound function."""
+        if self.config.pycodegen and self.config.threaded_dispatch:
+            pycodegen.ensure_source(ncode, self.state)
 
     def _try_cached_entry(self, closure: RClosure, st: ClosureJitState,
                           feedback_override=None) -> Optional[NativeCode]:

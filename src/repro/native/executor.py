@@ -173,11 +173,16 @@ def pic_call(cache: list, fn, args, names, vm) -> Any:
 def execute(ncode: NativeCode, args: List[Any], vm, closure_env=None) -> Any:
     """Run native code with ``args`` bound to the parameter registers.
 
-    Dispatches to the closure-compiled threaded executor (the default) or
-    the if/elif reference loop below (``RERPO_REF_EXEC=1``); both produce
-    identical results and telemetry.
+    Dispatches to the per-unit generated function (the default, the
+    fastest tier — native/pycodegen.py), the closure-compiled threaded
+    executor (``RERPO_PYCODEGEN=0``), or the if/elif reference loop below
+    (``RERPO_REF_EXEC=1``); all three produce identical results and
+    telemetry.
     """
-    if vm.config.threaded_dispatch:
+    cfg = vm.config
+    if cfg.threaded_dispatch:
+        if cfg.pycodegen:
+            return execute_codegen(ncode, args, vm, closure_env)
         return execute_threaded(ncode, args, vm, closure_env)
     return execute_ref(ncode, args, vm, closure_env)
 
@@ -539,3 +544,4 @@ def _super_assign_from(env, name: str, value: Any) -> None:
 # of this module, so this import must come after they exist
 from .threaded import execute_threaded  # noqa: E402
 from . import kernels as _kernels  # noqa: E402
+from .pycodegen import execute_codegen  # noqa: E402

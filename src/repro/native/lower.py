@@ -209,6 +209,13 @@ class NativeCode:
         self.invalidated = False
         #: lazily compiled threaded-dispatch handler array (native/threaded.py)
         self.threaded = None
+        #: codegen tier (native/pycodegen.py): generated Python source text
+        #: (False: emission declined, run threaded), its constant pool, and
+        #: the exec'd specialized function.  ``pysrc``/``pyconsts`` are part
+        #: of the persistable artifact; ``pyfunc`` is always rebuilt.
+        self.pysrc = None
+        self.pyconsts = None
+        self.pyfunc = None
         #: per-CALLG polymorphic inline caches (reference executor), keyed by
         #: op index; the threaded engine keeps its caches in handler closures
         self.pics: Dict[int, list] = {}
@@ -250,6 +257,9 @@ class NativeCode:
         clone.closure = None
         clone.invalidated = False
         clone.threaded = self.threaded
+        clone.pysrc = getattr(self, "pysrc", None)
+        clone.pyconsts = getattr(self, "pyconsts", None)
+        clone.pyfunc = getattr(self, "pyfunc", None)
         clone.pics = self.pics
         clone.cache_template = self
         ctx = getattr(self, "deoptless_ctx", None)

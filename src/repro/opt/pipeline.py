@@ -37,7 +37,7 @@ def optimize(graph: Graph, config=None, vm=None) -> Graph:
     dce(graph)
     # runs last: the pass only *annotates* (graph.vector_loops); it must see
     # the final cleaned shape the lowerer will consume
-    vectorize_loops(graph, config)
+    vectorize_loops(graph, config, state=vm.state if vm is not None else None)
     if check:
         _verify(graph, vm)
     return graph

@@ -21,6 +21,16 @@ bit-identical to the unvectorized compile (the legality tests assert this),
 and scalar engines (``Config.vectorize = False``) simply never consult the
 plans.
 
+Rejections are not silent: once a block has matched the counted-loop prelude
+(induction phi + bound compare), any subsequent failure is recorded as a
+*decline* with a reason tag — ``nested-control``, ``call``, ``aliasing``,
+``env-store``, ``no-reduction``, ... — and the loop's approximate bytecode
+pc (the first FrameState found in it).  ``vectorize_loops`` aggregates the
+declines into ``Telemetry.vec_declines`` / ``vec_decline_reasons`` /
+``vec_decline_log`` when given a telemetry ``state``, so a workload that
+silently shows ``kernel_elements: 0`` (spectralnorm: its hot loops call a
+closure per element) can be diagnosed instead of guessed at.
+
 Legality (beyond the structural match):
 
 * no calls, closure/promise creation, environment stores, or nested loops
@@ -118,8 +128,17 @@ class LoopPlan:
         return "<LoopPlan %s header=BB%d>" % (self.kind, self.header.id if self.header else -1)
 
 
-def vectorize_loops(graph: Graph, config=None) -> List[LoopPlan]:
-    """Annotate ``graph.vector_loops``; returns the plans for convenience."""
+#: cap on the per-VM (fn, pc, reason) decline log — counts are unbounded,
+#: the log is a diagnostic sample
+_DECLINE_LOG_CAP = 200
+
+
+def vectorize_loops(graph: Graph, config=None, state=None) -> List[LoopPlan]:
+    """Annotate ``graph.vector_loops``; returns the plans for convenience.
+
+    ``state`` (a :class:`~repro.jit.telemetry.Telemetry`) receives the
+    decline diagnostics; pass None to run the pass silently.
+    """
     plans: List[LoopPlan] = []
     graph.vector_loops = plans
     if config is not None and not getattr(config, "vectorize", True):
@@ -127,11 +146,20 @@ def vectorize_loops(graph: Graph, config=None) -> List[LoopPlan]:
     if not graph.env_elided:
         # an escaping environment can be mutated behind the kernel's back
         return plans
+    declines: List[Tuple[str, int]] = []
     uses = graph.compute_uses()
     for bb in graph.rpo():
-        plan = _match_loop(graph, bb, uses)
+        plan = _match_loop(graph, bb, uses, declines.append)
         if plan is not None:
             plans.append(plan)
+    if state is not None:
+        for reason, pc in declines:
+            state.vec_declines += 1
+            state.vec_decline_reasons[reason] = (
+                state.vec_decline_reasons.get(reason, 0) + 1
+            )
+            if len(state.vec_decline_log) < _DECLINE_LOG_CAP:
+                state.vec_decline_log.append((graph.name, pc, reason))
     return plans
 
 
@@ -139,7 +167,7 @@ def vectorize_loops(graph: Graph, config=None) -> List[LoopPlan]:
 # structural matching
 # ---------------------------------------------------------------------------
 
-def _match_loop(graph: Graph, header: BasicBlock, uses) -> Optional[LoopPlan]:
+def _match_loop(graph: Graph, header: BasicBlock, uses, report=None) -> Optional[LoopPlan]:
     term = header.terminator
     if not isinstance(term, I.Branch):
         return None
@@ -149,12 +177,34 @@ def _match_loop(graph: Graph, header: BasicBlock, uses) -> Optional[LoopPlan]:
     idx_phi, bound = cond.args[0], cond.args[1]
     if not (isinstance(idx_phi, I.Phi) and idx_phi.block is header):
         return None
+
+    # From here the block is a counted-loop header (induction phi + bound
+    # compare): every subsequent failure is a reportable *decline*.
+    body: List[BasicBlock] = []
+
+    def loop_pc() -> int:
+        for bb in [header] + body:
+            for ins in bb.instrs:
+                fs = getattr(ins, "framestate", None)
+                if fs is not None and getattr(fs, "pc", None) is not None:
+                    return fs.pc
+        return -1
+
+    def decline(reason: str) -> None:
+        if report is not None:
+            report((reason, loop_pc()))
+        return None
+
+    def fail(reason: str) -> bool:
+        decline(reason)
+        return False
+
     # the header must be exactly phis + compare + branch (the lowerer's
     # kernel placement assumes the scalar exit check starts at header+1)
     for ins in header.instrs:
         if isinstance(ins, I.Phi) or ins is cond or ins is term:
             continue
-        return None
+        return decline("header-effects")
 
     plan = LoopPlan()
     plan.header = header
@@ -165,7 +215,6 @@ def _match_loop(graph: Graph, header: BasicBlock, uses) -> Optional[LoopPlan]:
 
     # collect the loop body: blocks reachable from the body entry without
     # passing through the header again
-    body: List[BasicBlock] = []
     seen = {header.id}
     work = [body_entry]
     while work:
@@ -175,31 +224,31 @@ def _match_loop(graph: Graph, header: BasicBlock, uses) -> Optional[LoopPlan]:
         seen.add(bb.id)
         body.append(bb)
         if len(body) > 4:  # nested control flow — not a simple counted loop
-            return None
+            return decline("nested-control")
         for s in bb.successors():
             if s is not header:
                 work.append(s)
     body_ids = {bb.id for bb in body}
     if plan.exit_block.id in body_ids:
-        return None
+        return decline("irreducible-body")
     # single latch; no side entries into the body
     latches = [p for p in header.preds if p.id in body_ids]
     if len(latches) != 1 or len(header.preds) != 2:
-        return None
+        return decline("multiple-latches")
     plan.latch = latches[0]
     if not isinstance(plan.latch.terminator, I.Jump):
-        return None
+        return decline("irreducible-body")
     for bb in body:
         for p in bb.preds:
             if p.id not in body_ids and not (bb is body_entry and p is header):
-                return None
+                return decline("side-entry")
     plan.body_blocks = [bb for bb in graph.rpo() if bb.id in body_ids]
 
     def in_loop(v: I.Instr) -> bool:
         return v.block is not None and (v.block.id in body_ids or v.block is header)
 
     if in_loop(bound) or isinstance(bound, I.Phi) and bound.block is header:
-        return None
+        return decline("loop-varying-bound")
 
     # induction: idx_phi's backedge input is idx + 1
     back = _phi_input(idx_phi, plan.latch)
@@ -208,7 +257,7 @@ def _match_loop(graph: Graph, header: BasicBlock, uses) -> Optional[LoopPlan]:
         and back.args[0] is idx_phi and isinstance(back.args[1], I.Const)
         and back.args[1].value == 1
     ):
-        return None
+        return decline("irregular-induction")
     plan.idx_inc = back
 
     # iteration space: a VecLoad of an identity 1:n colon at idx+1.  OSR-entry
@@ -231,10 +280,10 @@ def _match_loop(graph: Graph, header: BasicBlock, uses) -> Optional[LoopPlan]:
         seq_load = fallback
         plan.seq_static = False
     if seq_load is None:
-        return None
+        return decline("no-elementwise-read")
     plan.seq_load = seq_load
 
-    if not _assign_roles(graph, plan, uses, in_loop):
+    if not _assign_roles(graph, plan, uses, in_loop, fail):
         return None
     return plan
 
@@ -268,7 +317,24 @@ def _is_identity_colon(v: I.Instr, in_loop) -> bool:
 # role assignment + kernel classification
 # ---------------------------------------------------------------------------
 
-def _assign_roles(graph: Graph, plan: LoopPlan, uses, in_loop) -> bool:
+#: decline tags for whole-op classes the kernels can never model
+_OP_DECLINES = {
+    I.Call: "call",
+    I.StaticCall: "call",
+    I.CallBuiltin: "call",
+    I.LdFun: "call",
+    I.CheckFun: "call",
+    I.MkClosure: "closure-alloc",
+    I.MkPromise: "closure-alloc",
+    I.StVarEnv: "env-store",
+    I.StVarSuper: "env-store",
+    I.SetIndex1: "generic-index-store",
+    I.SetIndex2: "generic-index-store",
+    I.Extract1: "generic-index-read",
+}
+
+
+def _assign_roles(graph: Graph, plan: LoopPlan, uses, in_loop, fail) -> bool:
     roles = plan.roles
     roles[id(plan.idx_phi)] = ("idx",)
     roles[id(plan.idx_inc)] = ("idx1",)
@@ -315,7 +381,7 @@ def _assign_roles(graph: Graph, plan: LoopPlan, uses, in_loop) -> bool:
         else:
             acc_candidates.append(phi)
     if len(acc_candidates) > 1:
-        return False
+        return fail("multiple-accumulators")
     acc_phi = acc_candidates[0] if acc_candidates else None
     if acc_phi is not None:
         roles[id(acc_phi)] = ("acc",)
@@ -338,7 +404,7 @@ def _assign_roles(graph: Graph, plan: LoopPlan, uses, in_loop) -> bool:
                 continue
             if t is I.LdVarEnv:
                 if ins.args:  # env-chain load through a real environment
-                    return False
+                    return fail("env-chain-load")
                 ch = new_chain(("env", ins.vname))
                 ch.members.append(ins)
                 roles[id(ins)] = ("inv", ch.key)
@@ -350,7 +416,7 @@ def _assign_roles(graph: Graph, plan: LoopPlan, uses, in_loop) -> bool:
                     continue
                 ch = chain_of(src)
                 if ch is None:
-                    return False
+                    return fail("non-invariant-operand")
                 ch.members.append(ins)
                 roles[id(ins)] = ("inv", ch.key)
                 continue
@@ -362,7 +428,7 @@ def _assign_roles(graph: Graph, plan: LoopPlan, uses, in_loop) -> bool:
                     continue
                 ch = chain_of(src)
                 if ch is None:
-                    return False
+                    return fail("non-invariant-operand")
                 ch.members.append(ins)
                 roles[id(ins)] = ("inv", ch.key)
                 continue
@@ -371,24 +437,27 @@ def _assign_roles(graph: Graph, plan: LoopPlan, uses, in_loop) -> bool:
                 # must lower to a fused GTYPE: single use feeding one Assume
                 users = uses.get(ins, [])
                 if len(users) != 1 or not isinstance(users[0], I.Assume):
-                    return False
+                    return fail("unfused-guard")
                 r = roles.get(id(src))
                 if r is not None and r[0] == "acc":
                     if plan.acc_gtype is not None:
-                        return False
+                        return fail("conflicting-guards")
                     plan.acc_gtype = ins.test_type
                     istype_guards[id(ins)] = src
                     continue
                 ch = chain_of(src)
-                if ch is None or (ch.gtype is not None and ch.gtype != ins.test_type):
-                    return False
+                if ch is None:
+                    return fail("non-invariant-operand")
+                if ch.gtype is not None and ch.gtype != ins.test_type:
+                    return fail("conflicting-guards")
                 ch.gtype = ins.test_type
                 istype_guards[id(ins)] = src
                 continue
             if t is I.Assume:
                 cond = ins.args[0]
                 if id(cond) not in istype_guards:
-                    return False  # cold-branch / identity assumes: not modeled
+                    # cold-branch / identity assumes: not modeled
+                    return fail("unmodeled-assume")
                 src = istype_guards[id(cond)]
                 r = roles.get(id(src))
                 if r is not None and r[0] == "inv":
@@ -396,10 +465,10 @@ def _assign_roles(graph: Graph, plan: LoopPlan, uses, in_loop) -> bool:
                 continue
             if t is I.VecLoad:
                 if ins.args[1] is not plan.seq_load and ins.args[1] is not plan.idx_inc:
-                    return False
+                    return fail("gather-index")
                 ch = chain_of(ins.args[0])
                 if ch is None:
-                    return False
+                    return fail("non-invariant-vector")
                 key = ch.key
                 prev = roles.get(id(ins))
                 roles[id(ins)] = ("elem", key)
@@ -409,20 +478,20 @@ def _assign_roles(graph: Graph, plan: LoopPlan, uses, in_loop) -> bool:
             if t is I.Unbox:
                 r = roles.get(id(ins.args[0]))
                 if r != ("acc",):
-                    return False
+                    return fail("unrecognized-unbox")
                 roles[id(ins)] = ("acc_raw",)
                 continue
             if t is I.Box:
                 r = roles.get(id(ins.args[0]))
                 if r is None:
-                    return False
+                    return fail("unrecognized-box")
                 roles[id(ins)] = ("box", r, ins.kind)
                 continue
             if t is I.Extract2:
                 ch = chain_of(ins.args[0])
                 ridx = roles.get(id(ins.args[1]))
                 if ch is None or ridx is None or ridx[0] != "box" or ridx[1] not in (("seq",), ("idx1",)):
-                    return False
+                    return fail("generic-extract-shape")
                 roles[id(ins)] = ("ex2", ch.key)
                 if ch.key not in plan.elem_keys:
                     plan.elem_keys.append(ch.key)
@@ -433,10 +502,10 @@ def _assign_roles(graph: Graph, plan: LoopPlan, uses, in_loop) -> bool:
                 rb = roles.get(id(ins.args[1]))
                 pair = {None if ra is None else ra[0], None if rb is None else rb[0]}
                 if ins.op != "+" or acc_update is not None or pair != {"box", "ex2"}:
-                    return False
+                    return fail("generic-arith-shape")
                 box_r = ra if ra[0] == "box" else rb
                 if box_r[1] != ("acc_raw",):
-                    return False
+                    return fail("generic-arith-shape")
                 plan.kind = "gsum"
                 acc_update = ins
                 roles[id(ins)] = ("acc_next",)
@@ -466,22 +535,22 @@ def _assign_roles(graph: Graph, plan: LoopPlan, uses, in_loop) -> bool:
                         mapval = (ins, ins.op, elem_first, other)
                         roles[id(ins)] = ("mapval",)
                         continue
-                return False
+                return fail("unrecognized-arith")
             if t is I.PrimCompare:
                 ra = roles.get(id(ins.args[0]))
                 if cmp_ins is not None or acc_phi is None:
-                    return False
+                    return fail("unrecognized-compare")
                 if ins.args[0] is not acc_phi and (ra is None or ra[0] != "elem"):
-                    return False
+                    return fail("unrecognized-compare")
                 other = ins.args[1] if ins.args[0] is not acc_phi else ins.args[0]
                 rother = roles.get(id(other))
                 elem_first = ins.args[0] is not acc_phi
                 if elem_first and other is not acc_phi:
-                    return False
+                    return fail("unrecognized-compare")
                 if not elem_first and (rother is None or rother[0] != "elem"):
-                    return False
+                    return fail("unrecognized-compare")
                 if ins.op not in _CMP_OPS:
-                    return False
+                    return fail("unrecognized-compare")
                 cmp_ins = ins
                 plan.cmp_op = ins.op
                 plan.cmp_elem_first = elem_first
@@ -489,11 +558,13 @@ def _assign_roles(graph: Graph, plan: LoopPlan, uses, in_loop) -> bool:
                 roles[id(ins)] = ("cmp",)
                 continue
             if t is I.VecStore:
-                if store is not None or ins.args[1] is not plan.seq_load and ins.args[1] is not plan.idx_inc:
-                    return False
+                if store is not None:
+                    return fail("multiple-stores")
+                if ins.args[1] is not plan.seq_load and ins.args[1] is not plan.idx_inc:
+                    return fail("gather-index")
                 ch = chain_of(ins.args[0])
                 if ch is None or ch.root[0] != "phi":
-                    return False
+                    return fail("store-target-not-invariant")
                 vr = roles.get(id(ins.args[2]))
                 if isinstance(ins.args[2], I.Const):
                     plan.val_spec = ("const", ins.args[2])
@@ -502,7 +573,7 @@ def _assign_roles(graph: Graph, plan: LoopPlan, uses, in_loop) -> bool:
                 elif vr == ("mapval",):
                     plan.val_spec = ("map", mapval[1], mapval[2], mapval[3])
                 else:
-                    return False
+                    return fail("unrecognized-store-value")
                 store = ins
                 plan.out_key = ch.key
                 plan.store_kind = ins.kind
@@ -512,18 +583,18 @@ def _assign_roles(graph: Graph, plan: LoopPlan, uses, in_loop) -> bool:
                 continue
             if t is I.Branch:
                 if roles.get(id(ins.args[0])) != ("cmp",):
-                    return False
+                    return fail("data-dependent-branch")
                 continue
             if t is I.Phi:
                 # only the compare-select join phi is allowed inside the body
                 if cmp_ins is None or plan.sel_phi is not None or ins.block is not plan.latch:
-                    return False
+                    return fail("compare-select-shape")
                 plan.sel_phi = ins
                 roles[id(ins)] = ("acc_next",)
                 continue
-            return False
+            return fail(_OP_DECLINES.get(t, "unsupported-op:%s" % t.__name__))
 
-    return _classify(graph, plan, uses, in_loop, acc_update, cmp_ins, store)
+    return _classify(graph, plan, uses, in_loop, acc_update, cmp_ins, store, fail)
 
 
 def _chases_to_phi(v: I.Instr, phi: I.Phi) -> bool:
@@ -541,59 +612,59 @@ def _chases_to_phi(v: I.Instr, phi: I.Phi) -> bool:
     return False
 
 
-def _classify(graph: Graph, plan: LoopPlan, uses, in_loop, acc_update, cmp_ins, store) -> bool:
+def _classify(graph: Graph, plan: LoopPlan, uses, in_loop, acc_update, cmp_ins, store, fail) -> bool:
     header, latch = plan.header, plan.latch
 
     if store is not None:
         if acc_update is not None or cmp_ins is not None or plan.acc_phi is not None:
-            return False
+            return fail("mixed-store-reduction")
         plan.store = store
         plan.kind = {"const": "fill", "elem": "copy", "map": "map"}[plan.val_spec[0]]
         # never write a vector the loop also reads (runtime identity is
         # additionally re-checked at kernel entry)
         if plan.out_key in plan.elem_keys:
-            return False
+            return fail("aliasing")
         out_root = plan.invs[plan.out_key].root
         for k in plan.elem_keys:
             if plan.invs[k].root == out_root:
-                return False
+                return fail("aliasing")
     elif cmp_ins is not None:
         if acc_update is not None or plan.sel_phi is None or plan.acc_phi is None:
-            return False
+            return fail("compare-select-shape")
         # arms: the update arm reloads the element, the other is empty
         branch = cmp_ins.block.terminator
         if not isinstance(branch, I.Branch) or branch.args[0] is not cmp_ins:
-            return False
+            return fail("compare-select-shape")
         sel_back = _phi_input(plan.acc_phi, latch)
         if sel_back is not plan.sel_phi:
-            return False
+            return fail("compare-select-shape")
         update_block = None
         for blk, val in plan.sel_phi.inputs:
             r = plan.roles.get(id(val))
             if r is not None and r[0] == "elem":
                 update_block = blk
             elif val is not plan.acc_phi:
-                return False
+                return fail("compare-select-shape")
         if update_block is None:
-            return False
+            return fail("compare-select-shape")
         plan.cmp_update_block = update_block
         plan.kind = "cmp"
         # chaos draws inside a fork cannot be scheduled — require a guardless body
         if any(ch.gtype is not None for ch in plan.invs) or plan.acc_gtype is not None:
-            return False
+            return fail("guard-in-forked-body")
     elif acc_update is not None:
         if plan.acc_phi is None or _phi_input(plan.acc_phi, latch) is not acc_update:
-            return False
+            return fail("reduction-shape")
         if plan.kind == "gsum":
             if plan.acc_gtype is None or plan.acc_gtype.kind.name not in ("DBL", "INT"):
-                return False
+                return fail("reduction-shape")
         elif plan.kind in ("sum", "prod"):
             if plan.acc_gtype is not None:
-                return False
+                return fail("reduction-shape")
         else:
-            return False
+            return fail("reduction-shape")
     else:
-        return False
+        return fail("no-reduction")
 
     # no loop-defined value may be used outside the loop (the kernel only
     # reconstructs registers that the retained scalar loop re-derives)
@@ -603,7 +674,7 @@ def _classify(graph: Graph, plan: LoopPlan, uses, in_loop, acc_update, cmp_ins, 
         for ins in bb.instrs:
             for user in uses.get(ins, []):
                 if user.block is not None and user.block.id not in loop_blocks:
-                    return False
+                    return fail("value-escapes-loop")
     for phi in header.phis():
         pass  # header phi registers are written by the kernel; uses anywhere are fine
 
@@ -617,5 +688,5 @@ def _classify(graph: Graph, plan: LoopPlan, uses, in_loop, acc_update, cmp_ins, 
             for v in fs.iter_values():
                 # in-loop Consts are preloaded registers — always correct
                 if in_loop(v) and id(v) not in plan.roles and not isinstance(v, I.Const):
-                    return False
+                    return fail("unmapped-framestate")
     return True

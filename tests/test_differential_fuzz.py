@@ -13,6 +13,15 @@ from hypothesis import given, settings, strategies as st
 from conftest import TIER_CONFIGS, make_vm
 from repro import from_r
 
+#: the three execution engines as Config overrides: reference if/elif loops,
+#: closure-threaded dispatch, and the per-unit Python-codegen tier.  Engine-
+#: looping tests below must leave identical dispatch signatures on all three.
+ENGINE_LEGS = (
+    dict(threaded_dispatch=False, pycodegen=False),
+    dict(threaded_dispatch=True, pycodegen=False),
+    dict(threaded_dispatch=True, pycodegen=True),
+)
+
 
 @st.composite
 def loop_program(draw):
@@ -156,21 +165,21 @@ drive <- function(n) {
 def test_inlined_calls_agree_across_tiers_and_engines(src, n):
     """With ``Config.inline`` on, inlined code must match the interpreter
     exactly, and the dispatch signature (op/guard counts + deopt stream)
-    must be identical between the threaded and reference executors."""
+    must be identical across the reference, threaded, and codegen engines."""
     call = "drive(%dL)" % n
     vm_ref = make_vm(enable_jit=False)
     vm_ref.eval(src)
     expected = [from_r(vm_ref.eval(call)) for _ in range(4)]
     sigs = []
-    for threaded in (False, True):
+    for eng in ENGINE_LEGS:
         vm = make_vm(compile_threshold=1, osr_threshold=50,
-                     threaded_dispatch=threaded, inline=True)
+                     inline=True, **eng)
         vm.eval(src)
         got = [from_r(vm.eval(call)) for _ in range(4)]
         assert got == expected, (src, got, expected)
         assert vm.state.inlined_frames > 0
         sigs.append(vm.state.dispatch_signature())
-    assert sigs[0] == sigs[1], src
+    assert all(s == sigs[0] for s in sigs), src
 
 
 @st.composite
@@ -202,7 +211,7 @@ def test_entry_contexts_agree_across_tiers_and_engines(src, xs, rounds):
     """The same call site alternates int, real, and logical vector
     arguments: with contextual dispatch each context gets its own entry
     version, and the results and the dispatch signature must be identical
-    between the threaded and reference executors (and match the pure
+    across the reference, threaded, and codegen engines (and match the pure
     interpreter's results)."""
     n = len(xs)
     ivec = "c(%s)" % ", ".join("%dL" % x for x in xs)
@@ -216,14 +225,14 @@ def test_entry_contexts_agree_across_tiers_and_engines(src, xs, rounds):
     vm_ref.eval(src)
     expected = [from_r(vm_ref.eval(c)) for c in calls]
     sigs = []
-    for threaded in (False, True):
+    for eng in ENGINE_LEGS:
         vm = make_vm(compile_threshold=1, osr_threshold=50,
-                     ctxdispatch=True, threaded_dispatch=threaded)
+                     ctxdispatch=True, **eng)
         vm.eval(src)
         got = [from_r(vm.eval(c)) for c in calls]
         assert got == expected, (src, got, expected)
         sigs.append(vm.state.dispatch_signature())
-    assert sigs[0] == sigs[1], src
+    assert all(s == sigs[0] for s in sigs), src
 
 
 @given(inline_program(), st.integers(2, 10), st.integers(0, 2**31))
@@ -231,19 +240,21 @@ def test_entry_contexts_agree_across_tiers_and_engines(src, xs, rounds):
 def test_chaos_deopts_inside_inlined_bodies(src, n, seed):
     """Chaos-mode assumption failures inside inlined bodies (nested frame
     chains, multi-frame materialization, deoptless dispatch on inlinee
-    states) never change results, on either executor, and leave identical
-    dispatch signatures."""
+    states) never change results, on any executor, and leave identical
+    dispatch signatures.  The codegen leg proves chaos deopts raised from
+    generated code — mid-unit, mid-kernel, and inside inlined bodies —
+    materialize the exact same frames as the reference loop."""
     call = "drive(%dL)" % n
     vm_ref = make_vm(enable_jit=False)
     vm_ref.eval(src)
     expected = from_r(vm_ref.eval(call))
     sigs = []
-    for threaded in (False, True):
+    for eng in ENGINE_LEGS:
         vm = make_vm(chaos_rate=0.05, chaos_seed=seed, compile_threshold=1,
                      osr_threshold=50, enable_deoptless=True,
-                     threaded_dispatch=threaded, inline=True)
+                     inline=True, **eng)
         vm.eval(src)
         for _ in range(5):
             assert from_r(vm.eval(call)) == expected, (src, seed)
         sigs.append(vm.state.dispatch_signature())
-    assert sigs[0] == sigs[1], src
+    assert all(s == sigs[0] for s in sigs), src

@@ -1,0 +1,177 @@
+"""Tests for the Python-codegen execution tier (native/pycodegen.py).
+
+The codegen tier emits one specialized exec'd function per NativeCode unit.
+Cross-engine equivalence (results + bit-identical dispatch signatures) is
+proven exhaustively in test_threaded_equivalence.py and the fuzz suite; this
+module covers the tier's own machinery: config plumbing and escape hatches,
+source/function caching on the unit and its cache template, the threaded
+fallback for untranslatable units, and warm-start persistence of the
+generated source (a disk hit must skip the emitter entirely).
+"""
+
+from __future__ import annotations
+
+from conftest import make_vm
+from repro import from_r
+from repro.native import pycodegen
+
+SUM_SRC = """
+s <- function(v, n) {
+  acc <- 0
+  i <- 1
+  while (i <= n) { acc <- acc + v[[i]]; i <- i + 1 }
+  acc
+}
+"""
+
+
+def hot_vm(**kw):
+    # threaded_dispatch/pycodegen pinned explicitly: these tests exercise
+    # the codegen tier even on the RERPO_PYCODEGEN=0 / RERPO_REF_EXEC=1 CI
+    # legs (only the *defaults* come from the env)
+    cfg = dict(compile_threshold=1, osr_threshold=100000,
+               threaded_dispatch=True, pycodegen=True)
+    cfg.update(kw)
+    vm = make_vm(**cfg)
+    vm.eval(SUM_SRC)
+    vm.eval("v <- 1.5 * (1:64)")
+    return vm
+
+
+def drive(vm, n=6):
+    return [from_r(vm.eval("s(v, 64L)")) for _ in range(n)]
+
+
+def compiled_unit(vm, name="s"):
+    closure = vm.get_global(name)
+    assert closure.jit is not None and closure.jit.version is not None
+    return closure.jit.version
+
+
+# ---------------------------------------------------------------------------
+# config plumbing
+# ---------------------------------------------------------------------------
+
+def test_pycodegen_env_escape_hatch(monkeypatch):
+    from repro.jit.config import Config
+
+    monkeypatch.delenv("RERPO_PYCODEGEN", raising=False)
+    monkeypatch.delenv("RERPO_REF_EXEC", raising=False)
+    assert Config().pycodegen is True
+
+    monkeypatch.setenv("RERPO_PYCODEGEN", "0")
+    cfg = Config()
+    assert cfg.pycodegen is False
+    assert cfg.threaded_dispatch is True, "hatch must not disable threading"
+
+    monkeypatch.delenv("RERPO_PYCODEGEN")
+    monkeypatch.setenv("RERPO_REF_EXEC", "1")
+    assert Config().pycodegen is False, "reference mode implies no codegen"
+
+
+# ---------------------------------------------------------------------------
+# the tier itself
+# ---------------------------------------------------------------------------
+
+def test_codegen_tier_binds_one_function_per_unit():
+    vm = hot_vm()
+    results = drive(vm)
+    assert len(set(results)) == 1
+    nc = compiled_unit(vm)
+    assert isinstance(nc.pysrc, str) and nc.pysrc, "no source emitted"
+    assert callable(nc.pyfunc), "source never bound"
+    assert nc.threaded is None, "threaded handlers must stay unbuilt"
+    assert vm.state.pycodegen_units >= 1
+    assert vm.state.pycodegen_failures == 0
+
+
+def test_codegen_disabled_runs_threaded():
+    vm = hot_vm(pycodegen=False)
+    drive(vm)
+    nc = compiled_unit(vm)
+    assert nc.pyfunc is None and nc.pysrc is None
+    assert nc.threaded is not None
+    assert vm.state.pycodegen_units == 0
+
+
+def test_generated_source_backpropagates_to_template():
+    """Install clones share the template's emitted source and bound function
+    (the same idiom the threaded tier uses for its handler arrays)."""
+    vm = hot_vm()
+    drive(vm)
+    nc = compiled_unit(vm)
+    tmpl = nc.cache_template
+    if tmpl is None:  # cache disabled in this configuration — nothing shared
+        return
+    assert tmpl.pysrc == nc.pysrc
+    assert tmpl.pyfunc is nc.pyfunc, "clone must reuse the template binding"
+
+
+def test_untranslatable_unit_falls_back_to_threaded():
+    """An unknown opcode makes the emitter decline; the unit must still run
+    (threaded) and be marked with the False sentinel so codegen is not
+    retried on every call."""
+    vm = hot_vm()
+    drive(vm)
+    nc = compiled_unit(vm)
+    # forge a unit with a bogus opcode: emission must fail cleanly
+    forged = nc.clone_for_install()
+    forged.pysrc = None
+    forged.pyconsts = None
+    forged.pyfunc = None
+    forged.cache_template = None
+    forged.ops = [(999999,)] + list(forged.ops)  # entry block: always walked
+    assert pycodegen.ensure_source(forged, vm.state) is None
+    assert forged.pysrc is False
+    assert vm.state.pycodegen_failures == 1
+    assert pycodegen.bind(forged, vm) is None
+
+
+def test_chaos_deopt_from_generated_code_recovers():
+    """A chaos-forced deopt raised inside an exec'd function must land on
+    the standard recovery path and keep producing correct results."""
+    vm = hot_vm(chaos_rate=0.05, chaos_seed=7, enable_deoptless=True)
+    results = drive(vm, n=10)
+    assert len(set(results)) == 1
+    assert vm.state.deopts > 0, "chaos never fired"
+    assert compiled_unit(vm).pyfunc is not None
+
+
+# ---------------------------------------------------------------------------
+# warm-start persistence
+# ---------------------------------------------------------------------------
+
+def test_warm_start_reuses_generated_source(tmp_path):
+    d = str(tmp_path / "cc")
+    vm1 = hot_vm(codecache=True, codecache_dir=d)
+    cold = drive(vm1)
+    assert vm1.state.pycodegen_units >= 1
+    vm1.save_code_cache()
+
+    vm2 = hot_vm(codecache=True, codecache_dir=d)
+    warm = drive(vm2)
+    assert warm == cold
+    assert vm2.state.codecache_disk_hits >= 1, "unit not served from disk"
+    assert vm2.state.pycodegen_src_reuses >= 1, \
+        "generated source did not ride in on the artifact"
+    assert vm2.state.pycodegen_units == 0, \
+        "warm start must skip the emitter entirely"
+    nc = compiled_unit(vm2)
+    assert callable(nc.pyfunc), "persisted source never bound"
+
+
+def test_persisted_artifact_not_consumed_by_threaded_leg(tmp_path):
+    """An artifact written by a codegen VM still warm-starts a
+    ``pycodegen=False`` VM — the source keys are optional extensions and the
+    threaded tier simply ignores them."""
+    d = str(tmp_path / "cc")
+    vm1 = hot_vm(codecache=True, codecache_dir=d)
+    cold = drive(vm1)
+    vm1.save_code_cache()
+
+    vm2 = hot_vm(codecache=True, codecache_dir=d, pycodegen=False)
+    warm = drive(vm2)
+    assert warm == cold
+    assert vm2.state.codecache_disk_hits >= 1
+    nc = compiled_unit(vm2)
+    assert nc.pyfunc is None and nc.threaded is not None

@@ -1,12 +1,12 @@
-"""Differential proof that threaded dispatch is equivalent to the reference loops.
+"""Differential proof that all execution engines are equivalent.
 
-Both execution engines — the closure-compiled threaded dispatchers (default)
-and the original if/elif reference loops (``RERPO_REF_EXEC=1``) — must be
-observationally identical: same results, same deopt event stream, and the
-exact same op/guard telemetry (the cost model's inputs).  Every workload in
-the benchmark registry is run under both engines across tier configurations,
-including chaos mode with fixed seeds, and the full dispatch signatures are
-compared.
+The three execution engines — the original if/elif reference loops
+(``RERPO_REF_EXEC=1``), the closure-compiled threaded dispatchers, and the
+per-unit Python-codegen tier (default) — must be observationally identical:
+same results, same deopt event stream, and the exact same op/guard telemetry
+(the cost model's inputs).  Every workload in the benchmark registry is run
+under every engine across tier configurations, including chaos mode with
+fixed seeds, and the full dispatch signatures are compared.
 """
 
 import pytest
@@ -31,27 +31,36 @@ ENGINE_CONFIGS = {
     ),
 }
 
+#: the three execution engines, as Config overrides.  ``reference`` is the
+#: semantic spec; the other two must match it bit-for-bit.
+ENGINES = {
+    "reference": dict(threaded_dispatch=False, pycodegen=False),
+    "threaded": dict(threaded_dispatch=True, pycodegen=False),
+    "codegen": dict(threaded_dispatch=True, pycodegen=True),
+}
 
-def run_workload(name, cfg, threaded, repeats=2):
+
+def run_workload(name, cfg, engine, repeats=2):
     w = REGISTRY.get(name)
-    vm = make_vm(threaded_dispatch=threaded, **cfg)
+    vm = make_vm(**ENGINES[engine], **cfg)
     vm.eval(w.source)
     vm.eval(w.setup_code(w.n_test))
     results = [from_r(vm.eval(w.call_code(w.n_test))) for _ in range(repeats)]
     return results, vm.state.dispatch_signature()
 
 
+@pytest.mark.parametrize("engine", ["threaded", "codegen"])
 @pytest.mark.parametrize("mode", sorted(ENGINE_CONFIGS))
 @pytest.mark.parametrize("name", REGISTRY.names())
-def test_threaded_matches_reference(name, mode):
+def test_engine_matches_reference(name, mode, engine):
     cfg = ENGINE_CONFIGS[mode]
-    t_results, t_sig = run_workload(name, cfg, threaded=True)
-    r_results, r_sig = run_workload(name, cfg, threaded=False)
+    t_results, t_sig = run_workload(name, cfg, engine)
+    r_results, r_sig = run_workload(name, cfg, "reference")
     assert t_results == r_results, "%s[%s]: results diverged" % (name, mode)
     for key in r_sig:
         assert t_sig[key] == r_sig[key], (
-            "%s[%s]: %s diverged: threaded=%r reference=%r"
-            % (name, mode, key, t_sig[key], r_sig[key])
+            "%s[%s]: %s diverged: %s=%r reference=%r"
+            % (name, mode, key, engine, t_sig[key], r_sig[key])
         )
 
 
@@ -70,7 +79,10 @@ def test_threaded_code_is_cached_and_fused():
     from repro.native import ops as N
     from repro.native.lower import fuse_superinstructions
 
-    vm = make_vm(compile_threshold=1, osr_threshold=50, threaded_dispatch=True)
+    vm = make_vm(
+        compile_threshold=1, osr_threshold=50, threaded_dispatch=True,
+        pycodegen=False,  # pin the threaded tier; codegen leaves .threaded unbuilt
+    )
     vm.eval(
         """
         s <- function(v) {

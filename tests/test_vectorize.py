@@ -238,8 +238,8 @@ def _compile_f(src, vectorize, monkeypatch=None, graphs=None):
 
         orig = pp.vectorize_loops
 
-        def traced(graph, config=None):
-            out = orig(graph, config)
+        def traced(graph, config=None, state=None):
+            out = orig(graph, config, state=state)
             graphs.append(graph)
             return out
 
@@ -274,6 +274,63 @@ def test_illegal_loops_rejected(shape, monkeypatch):
         "%s: lowered code diverged" % shape
     )
     assert v_results == s_results
+
+
+#: illegal shape -> the decline reason the pass must record for it
+DECLINE_REASONS = {
+    "closure-call": "call",
+    "write-read-alias": "aliasing",
+    "two-accumulators": "multiple-accumulators",
+    "unrecognized-recurrence": "unrecognized-arith",
+}
+
+
+@pytest.mark.parametrize("shape", sorted(DECLINE_REASONS))
+def test_decline_reason_recorded(shape):
+    """A rejected loop is not silent: the reason and the loop's pc land in
+    the vec_decline telemetry and in snapshot()."""
+    vm = make_vm(compile_threshold=1, osr_threshold=100000, vectorize=True)
+    vm.eval(ILLEGAL[shape])
+    vm.eval("v <- 1.5 * (1:64)")
+    for _ in range(4):
+        vm.eval("f(v, 64)")
+    reason = DECLINE_REASONS[shape]
+    assert vm.state.vec_declines > 0
+    assert vm.state.vec_decline_reasons.get(reason, 0) > 0, (
+        "expected %r, recorded %r" % (reason, vm.state.vec_decline_reasons)
+    )
+    assert any(fn == "f" and r == reason and pc >= 0
+               for fn, pc, r in vm.state.vec_decline_log)
+    snap = vm.state.snapshot()
+    assert snap["vec_declines"] == vm.state.vec_declines
+    assert snap["vec_decline_reasons"].get(reason, 0) > 0
+
+
+def test_legal_loop_records_no_decline():
+    vm = make_vm(compile_threshold=1, osr_threshold=100000, vectorize=True)
+    vm.eval(SUM_SRC)
+    vm.eval("v <- 1.5 * (1:64)")
+    for _ in range(4):
+        vm.eval("f(v, 64)")
+    assert vm.state.kernel_elements > 0, "sum loop was not kernelized"
+    assert vm.state.vec_declines == 0
+    assert vm.state.vec_decline_reasons == {}
+
+
+def test_spectralnorm_declines_are_diagnosed():
+    """The workload that motivated this telemetry: spectralnorm shows
+    ``kernel_elements: 0`` because its hot loops call a closure per element
+    — the decline log must say so instead of leaving it a mystery."""
+    from repro.bench.programs import REGISTRY
+
+    w = REGISTRY.get("spectralnorm")
+    vm = make_vm(compile_threshold=1, osr_threshold=50, vectorize=True)
+    vm.eval(w.source)
+    vm.eval(w.setup_code(8))
+    vm.eval(w.call_code(8))
+    assert vm.state.kernel_elements == 0
+    assert vm.state.vec_declines > 0
+    assert vm.state.vec_decline_reasons.get("call", 0) > 0
 
 
 def test_legal_loop_is_annotated(monkeypatch):
