@@ -7,10 +7,12 @@ Four layered acceptance bars on the native tier:
   (``RERPO_REF_EXEC``) on the sum/colsum kernels — the PR-1 bar;
 * guard-hoisted loop vectorization (``opt/vectorize.py``) must buy a >=3x
   additional geomean over the *threaded scalar* engine on the headline
-  kernels (sum, colsum, spectralnorm).  spectralnorm's hot loops call a
-  closure per element and are legitimately rejected by the vectorizer, so
-  it contributes ~1.0x — the bulk kernels of sum/colsum must carry the
-  geomean past the bar anyway;
+  kernels (sum, colsum, spectralnorm, dotprod).  The loop-nest planner
+  fuses spectralnorm's closure-call-per-element inner loops (map→reduce
+  through the inlined ``eval_A``) and dotprod's VDOT/gather reductions
+  into bulk kernels, so every kernel in the set must now cover elements
+  and clear its own per-kernel floor — there is no legitimately-scalar
+  freeloader in the geomean anymore;
 * speculative call-target inlining (``opt/inline.py``) must buy a >=1.5x
   geomean over the guarded-call path (``Config.inline`` off) on the
   call-heavy group — small closures invoked from hot loops.  The
@@ -44,11 +46,24 @@ KERNELS = {
     "colsum": (200, 2000),
 }
 
-#: the vectorization headline set (ISSUE: sum, colsum, spectralnorm)
+#: the vectorization headline set: the original bulk kernels plus the two
+#: loop-nest/fusion workloads (closure-fused spectralnorm, VDOT+gather
+#: dotprod) that the nest planner promoted from scalar to kernelized
 VEC_KERNELS = {
     "sum_phases": (4000, 40000),
     "colsum": (200, 2000),
     "spectralnorm": (16, 40),
+    "dotprod": (2000, 20000),
+}
+
+#: per-kernel wall-clock floors (speedup vs the threaded scalar engine).
+#: sum/colsum historically sit far above these; spectralnorm and dotprod
+#: carry the ISSUE's >=3x loop-nest acceptance bar individually.
+VEC_FLOORS = {
+    "sum_phases": 8.0,
+    "colsum": 8.0,
+    "spectralnorm": 3.0,
+    "dotprod": 3.0,
 }
 
 #: the call-heavy group: monomorphic call sites the inliner splices
@@ -154,26 +169,48 @@ def test_vectorize_speedup(bench_scale):
 
     speedups = [s for _, s, _ in rows]
     payload["geomean_speedup_vs_threaded"] = geomean(speedups)
+    # covered-only geomean: the same statistic over just the kernels whose
+    # bulk kernels actually covered elements.  Reported alongside the
+    # all-kernels figure so a future decline regression (a kernel silently
+    # dropping back to scalar) shows up as the two numbers separating
+    # instead of one blended mean drifting.
+    covered = [
+        (name, s) for (name, s, _), k in zip(rows, payload["kernels"].values())
+        if k["kernel_elements"] > 0
+    ]
+    payload["covered_kernels"] = [name for name, _ in covered]
+    payload["covered_geomean_speedup_vs_threaded"] = (
+        geomean([s for _, s in covered]) if covered else 0.0
+    )
+    payload["floors"] = dict(VEC_FLOORS)
     path = save_json("BENCH_vectorize", payload)
     report(
         "Vectorize: bulk kernels vs threaded scalar (native tier)",
         format_speedup_table(rows)
-        + "\ngeomean %.2fx  (results -> %s)"
-        % (payload["geomean_speedup_vs_threaded"], path),
+        + "\ngeomean %.2fx (covered-only %.2fx over %d/%d)  (results -> %s)"
+        % (
+            payload["geomean_speedup_vs_threaded"],
+            payload["covered_geomean_speedup_vs_threaded"],
+            len(covered), len(rows), path,
+        ),
     )
 
-    # acceptance: >=3x additional geomean on the headline kernels; no kernel
-    # may *regress* (spectralnorm legitimately sits at ~1.0x — its loops
-    # call closures and are rejected, so the floor is slightly below 1)
+    # acceptance: >=3x geomean on the headline kernels, every kernel covers
+    # elements (the nest planner leaves no scalar freeloaders in this set),
+    # and each kernel clears its own floor
     assert payload["geomean_speedup_vs_threaded"] >= 3.0, (
         "vectorization below the 3x bar (%.2fx)"
         % payload["geomean_speedup_vs_threaded"]
     )
+    for name in VEC_KERNELS:
+        assert payload["kernels"][name]["kernel_elements"] > 0, (
+            "%s: bulk kernels never covered an element" % name
+        )
+    assert payload["covered_geomean_speedup_vs_threaded"] >= 3.0
     for name, speedup, _ in rows:
-        assert speedup >= 0.85, "%s: vectorization regressed (%.2fx)" % (name, speedup)
-    # the bulk kernels actually covered elements on the kernels that matter
-    assert payload["kernels"]["sum_phases"]["kernel_elements"] > 0
-    assert payload["kernels"]["colsum"]["kernel_elements"] > 0
+        assert speedup >= VEC_FLOORS[name], (
+            "%s: below its %.1fx floor (%.2fx)" % (name, VEC_FLOORS[name], speedup)
+        )
 
 
 def _time_calls(name, inline, n, warmup=2, iters=5):

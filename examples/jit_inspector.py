@@ -86,6 +86,7 @@ def main() -> None:
     inspect_code_cache()
     inspect_context_dispatch()
     inspect_vectorizer_declines()
+    inspect_vectorizer_plans()
 
 
 #: ``inc`` reads the free variable ``k`` from its lexical environment, so
@@ -273,9 +274,12 @@ def inspect_context_dispatch() -> None:
         print("  %-20s %-10s %s" % (e.kind, e.fn_name, details))
 
 
-#: spectralnorm in miniature: the hot loop calls a closure per element, so
-#: the vectorizer must refuse it — and now says why instead of silently
-#: reporting ``kernel_elements: 0``
+#: spectralnorm in miniature: the hot loop calls a closure per element.
+#: After inlining, the fused ``s + av(v[[i]])`` expression is a map→reduce
+#: the vectorizer recognizes, so ``dot`` now kernelizes instead of being
+#: refused.  ``cond`` keeps the decline panel honest: branching inside the
+#: body still declines, and the log says why instead of silently reporting
+#: ``kernel_elements: 0``
 VEC_SRC = """
 av <- function(x) x / 2
 dot <- function(v, n) {
@@ -286,6 +290,11 @@ dot <- function(v, n) {
 plain <- function(v, n) {
   s <- 0
   for (i in 1:n) s <- s + v[[i]]
+  s
+}
+cond <- function(v, n) {
+  s <- 0
+  for (i in 1:n) if (i < 100) s <- s + v[[i]]
   s
 }
 """
@@ -299,6 +308,7 @@ def inspect_vectorizer_declines() -> None:
     for _ in range(6):
         vm.eval("dot(x, 32L)")
         vm.eval("plain(x, 32L)")
+        vm.eval("cond(x, 32L)")
 
     print()
     print("=" * 70)
@@ -309,9 +319,53 @@ def inspect_vectorizer_declines() -> None:
     print("  declines by reason:")
     for reason, count in sorted(vm.state.vec_decline_reasons.items()):
         print("    %-28s %d" % (reason, count))
-    print("  decline log (fn, bytecode pc, reason):")
-    for fn, pc, reason in vm.state.vec_decline_log:
-        print("    %-12s pc %3d  %s" % (fn, pc, reason))
+    print("  decline log (fn, bytecode pc, reason, times seen):")
+    for fn, pc, reason, count in vm.state.vec_decline_log:
+        print("    %-12s pc %3d  %-24s x%d" % (fn, pc, reason, count))
+
+
+#: a loop nest (inner counted reduction under a scalar outer driver) plus a
+#: gather (``v[[idx[[i]]]]``) — the two addressing shapes the nest planner
+#: reports beside plain unit-stride reads
+NEST_SRC = """
+nest <- function(v, n, m) {
+  total <- 0
+  for (o in 1:m) {
+    s <- 0
+    for (i in 1:n) s <- s + v[[i]] * o
+    total <- total + s
+  }
+  total
+}
+gsum <- function(v, idx, n) {
+  s <- 0
+  for (i in 1:n) s <- s + v[[idx[[i]]]]
+  s
+}
+"""
+
+
+def inspect_vectorizer_plans() -> None:
+    """The nest planner: which loops became kernels, and how they address."""
+    vm = RVM(Config(compile_threshold=3, vectorize=True))
+    vm.eval(NEST_SRC)
+    vm.eval("x <- 1.5 * (1:32)")
+    vm.eval("idx <- rep(1:16, 2)")
+    for _ in range(6):
+        vm.eval("nest(x, 32L, 8L)")
+        vm.eval("gsum(x, idx, 32L)")
+
+    print()
+    print("=" * 70)
+    print("14. VECTORIZER NEST PLANS (loops that became kernels)")
+    print("=" * 70)
+    print("  kernel_elements=%d  plans=%d"
+          % (vm.state.kernel_elements, len(vm.state.vec_plans)))
+    print("  plan (fn, inner pc, kernel kind, addressing, outer driver pc):")
+    for fn, pc, kind, addressing, outer_pc in vm.state.vec_plans:
+        outer = "pc %3d" % outer_pc if outer_pc is not None else "(flat) "
+        print("    %-8s pc %3d  %-10s %-8s outer %s"
+              % (fn, pc, kind, addressing, outer))
 
 
 if __name__ == "__main__":

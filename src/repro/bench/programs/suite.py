@@ -229,6 +229,44 @@ spectral_run <- function(n) {
 ))
 
 # ---------------------------------------------------------------------------
+# dotprod — BLAS-1 style reductions: dot product + gather sum
+# ---------------------------------------------------------------------------
+
+REGISTRY.add(Workload(
+    name="dotprod",
+    source="""
+ddot <- function(x, y, n) {
+  d <- 0.0
+  for (i in 1:n) d <- d + x[[i]] * y[[i]]
+  d
+}
+
+gather_sum <- function(x, idx, n) {
+  g <- 0.0
+  for (i in 1:n) g <- g + x[[idx[[i]]]]
+  g
+}
+
+dot_run <- function(x, y, idx, n, reps) {
+  acc <- 0.0
+  for (r in 1:reps) acc <- acc + ddot(x, y, n) + gather_sum(x, idx, n)
+  acc
+}
+""",
+    setup="""
+x <- 1.5 * (1:{n})
+y <- 0.25 * (1:{n})
+idx <- integer({n})
+for (i in 1:{n}) idx[[i]] <- {n} + 1L - i
+""",
+    call="dot_run(x, y, idx, {n}L, 8L)",
+    n=20000,
+    n_test=2000,
+    notes="two fused reductions per pass: x.y (VDOT) and a reversed-index "
+          "gather sum (VGATHER_REDUCE) under a scalar repeat driver",
+))
+
+# ---------------------------------------------------------------------------
 # fannkuchredux — integer permutations (CLBG)
 # ---------------------------------------------------------------------------
 

@@ -34,6 +34,12 @@ def _inline_default() -> bool:
     return os.environ.get("RERPO_INLINE", os.environ.get("REPRO_INLINE", "1")) != "0"
 
 
+def _vectorize_default() -> bool:
+    """Guard-hoisted loop vectorization is on by default; ``RERPO_VECTORIZE=0``
+    disables the pass (CI covers the scalar-loop-only path with this leg)."""
+    return os.environ.get("RERPO_VECTORIZE", os.environ.get("REPRO_VECTORIZE", "1")) != "0"
+
+
 def _codecache_default() -> bool:
     """The context-keyed code cache is on by default; ``RERPO_CODECACHE=0``
     disables it (CI covers the always-recompile path with this leg)."""
@@ -98,7 +104,7 @@ class Config:
     #: exact per-iteration op/guard/generic counts of the replaced loop), so
     #: the cost model and dispatch signature are engine-independent; the
     #: real speedup shows up in wall-clock only (benchmarks/).
-    vectorize: bool = True
+    vectorize: bool = field(default_factory=_vectorize_default)
     #: speculative call-target inlining (opt/inline.py): monomorphic
     #: ``CallFeedback`` sites splice the callee's IR under the existing
     #: identity guard.  Checkpoints inside the inlined body carry nested

@@ -97,11 +97,16 @@ class Telemetry:
         self.pycodegen_failures = 0
         #: vectorizer decline diagnostics (opt/vectorize.py): loops that
         #: structurally looked like candidates but were rejected, total and
-        #: by reason, plus a bounded (fn, pc, reason) log for inspectors.
-        #: Compile-time analysis detail — snapshot()-only.
+        #: by reason, plus a bounded deduped (fn, pc, reason, count) log for
+        #: inspectors.  Compile-time analysis detail — snapshot()-only.
         self.vec_declines = 0
         self.vec_decline_reasons: Dict[str, int] = {}
         self.vec_decline_log: List[tuple] = []
+        #: recognized loop plans, deduped: (fn, pc, kind, addressing,
+        #: outer_pc) — outer_pc is the scalar driver's pc for a nest, else
+        #: None.  Compile-time analysis detail — excluded from
+        #: dispatch_signature() like the decline log.
+        self.vec_plans: List[tuple] = []
         #: background/step tier-up queue (jit/compile_queue.py)
         self.tierup_enqueues = 0
         self.tierup_installs = 0
@@ -223,6 +228,7 @@ class Telemetry:
             "pycodegen_failures": self.pycodegen_failures,
             "vec_declines": self.vec_declines,
             "vec_decline_reasons": dict(self.vec_decline_reasons),
+            "vec_plans": len(self.vec_plans),
             "tierup_enqueues": self.tierup_enqueues,
             "ir_verifies": self.ir_verifies,
             "allocations": self.allocations(),

@@ -38,7 +38,7 @@ from typing import Any
 from ..osr.framestate import DeoptReasonKind, KernelIterState
 from ..runtime import coerce
 from ..runtime.rtypes import Kind
-from ..runtime.values import RError, RPromise, RVector, rtype_quick
+from ..runtime.values import RBuiltin, RClosure, RError, RPromise, RVector, rtype_quick
 
 # partial-module import (executor.py imports us at its bottom); attributes
 # are resolved at call time, after both modules finished initializing
@@ -63,6 +63,19 @@ def _resolve_source(source, regs, closure_env):
     """
     if source[0] == "reg":
         v = regs[source[1]]
+    elif source[0] == "fun":
+        # exact replica of REnvironment.get_function — the scalar LDFUN's
+        # lookup rule (skip non-function bindings, promises never forced) —
+        # declining instead of raising when the name does not resolve
+        name = source[1]
+        e = closure_env
+        while e is not None:
+            if name in e.bindings:
+                v = e.bindings[name]
+                if isinstance(v, (RClosure, RBuiltin)):
+                    return v
+            e = e.parent
+        return _FAIL
     else:
         name = source[1]
         e = closure_env
@@ -94,6 +107,147 @@ def _pdiv(a, b):
     return a / b
 
 
+def _compile_fsum(kd):
+    """Build the bulk loop for a fused map→reduce kernel, once per descriptor.
+
+    Returns ``(fn, elems, gathers, uinvs, rinvs)`` — the generated function
+    plus the inv-chain key sets the entry checks must validate — or ``False``
+    if the role tree contains something the emitter cannot replicate.  The
+    function runs ``acc = acc ⊕ expr(t)`` over ``t in [ji, stop)`` on the raw
+    buffers and returns ``(t_stop, acc)``; ``t_stop < stop`` means a gather
+    element failed one of the scalar VLOAD's checks (nan index, subscript
+    out of bounds, NA element) at iteration ``t_stop`` and coverage ends
+    *before* it, so the retained scalar loop reproduces the reference error
+    or deopt with bit-exact state.
+    """
+    consts = []
+    elems = set()
+    gathers = set()
+    uinvs = set()
+    rinvs = set()
+    body = []
+    ctr = [0]
+
+    def emit(role):
+        tag = role[0]
+        if tag == "elem":
+            elems.add(role[1])
+            return "d%d[t]" % role[1]
+        if tag in ("seq", "idx1"):
+            return "(t + 1)"
+        if tag == "idx":
+            return "t"
+        if tag == "cval":
+            consts.append(role[1])
+            return "K%d" % (len(consts) - 1)
+        if tag == "uinv":
+            uinvs.add(role[1])
+            return "u%d" % role[1]
+        if tag == "inv":
+            rinvs.add(role[1])
+            return "r%d" % role[1]
+        if tag == "gelem":
+            key = role[1]
+            gathers.add(key)
+            ie = emit(role[2])
+            if ie is None:
+                return None
+            n = ctr[0]
+            ctr[0] += 1
+            body.append("i%d = %s" % (n, ie))
+            # the scalar VLOAD in order: a nan index crashes its int()
+            # conversion, an out-of-range one raises the subscript error,
+            # and an NA element deopts — stop before the iteration so the
+            # scalar tier reproduces whichever applies
+            body.append(
+                "if i%d != i%d or i%d < 1 or i%d > n%d: return (t, acc)"
+                % (n, n, n, n, key)
+            )
+            body.append("x%d = g%d[int(i%d) - 1]" % (n, key, n))
+            body.append("if x%d is None: return (t, acc)" % n)
+            return "x%d" % n
+        if tag == "expr":
+            a = emit(role[2])
+            b = emit(role[3])
+            if a is None or b is None:
+                return None
+            if role[1] == "/":
+                return "_pdiv(%s, %s)" % (a, b)
+            return "(%s %s %s)" % (a, role[1], b)
+        return None
+
+    expr_src = emit(kd.expr)
+    if expr_src is None:
+        return False
+    lines = ["def _f(ji, stop, acc, invs):"]
+    for k in sorted(elems):
+        lines.append("    d%d = invs[%d].data" % (k, k))
+    for k in sorted(gathers):
+        lines.append("    g%d = invs[%d].data" % (k, k))
+        lines.append("    n%d = len(g%d)" % (k, k))
+    for k in sorted(uinvs):
+        lines.append("    u%d = invs[%d].data[0]" % (k, k))
+    for k in sorted(rinvs):
+        lines.append("    r%d = invs[%d]" % (k, k))
+    lines.append("    for t in range(ji, stop):")
+    for s in body:
+        lines.append("        " + s)
+    lines.append("        acc = acc %s %s" % (kd.acc_op, expr_src))
+    lines.append("    return (stop, acc)")
+    ns = {"_pdiv": _pdiv}
+    for i, c in enumerate(consts):
+        ns["K%d" % i] = c
+    exec("\n".join(lines), ns)
+    return (ns["_f"], frozenset(elems), frozenset(gathers),
+            frozenset(uinvs), frozenset(rinvs))
+
+
+def _fsum_eval(role, t, invs):
+    """Interpreted twin of the compiled fsum loop body (chaos path only).
+
+    Returns the fused expression's value at data index ``t``, or ``_FAIL``
+    when a gather element fails one of the scalar VLOAD's checks — exactly
+    the conditions the compiled loop's early returns encode, in the same
+    left-to-right evaluation order.
+    """
+    tag = role[0]
+    if tag == "elem":
+        return invs[role[1]].data[t]
+    if tag in ("seq", "idx1"):
+        return t + 1
+    if tag == "idx":
+        return t
+    if tag == "cval":
+        return role[1]
+    if tag == "uinv":
+        return invs[role[1]].data[0]
+    if tag == "inv":
+        return invs[role[1]]
+    if tag == "gelem":
+        i = _fsum_eval(role[2], t, invs)
+        if i is _FAIL:
+            return _FAIL
+        d = invs[role[1]].data
+        if i != i or i < 1 or i > len(d):
+            return _FAIL
+        x = d[int(i) - 1]
+        return _FAIL if x is None else x
+    a = _fsum_eval(role[2], t, invs)
+    if a is _FAIL:
+        return _FAIL
+    b = _fsum_eval(role[3], t, invs)
+    if b is _FAIL:
+        return _FAIL
+    op = role[1]
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    return _pdiv(a, b)
+
+
 def _chaos_fire(kd, ev, regs, j0, ji, jd, acc_repr, invs, mapv=None):
     """Materialize the mid-kernel deopt for guard ``ev`` at data index ``jd``."""
     it = jd - ji
@@ -107,10 +261,13 @@ def _chaos_fire(kd, ev, regs, j0, ji, jd, acc_repr, invs, mapv=None):
     ev.template.materialize(regs, st)
     gr = ev.guard_role
     gv = invs[gr[1]] if gr[0] == "inv" else acc_repr
+    # the scalar guard's ``observed``: the value's type for GTYPE, the value
+    # itself for GIDENT (executor semantics, replicated bit-for-bit)
+    observed = gv if ev.kind == "gident" else rtype_quick(gv)
     io, ig, ie = kd.iter_counts
     t = ev.template
     return (
-        "deopt", ev.did, rtype_quick(gv), DeoptReasonKind.CHAOS,
+        "deopt", ev.did, observed, DeoptReasonKind.CHAOS,
         it * io + t.ops_into, it * ig + t.guards_into, it * ie + t.gen_into,
         it,
     )
@@ -149,7 +306,7 @@ def run_kernel(kd, regs, vm, closure_env):
 
     # -- invariant chains: resolve once, verify the hoisted guards -----------
     invs = {}
-    for key, source, gtype, _member_regs, indexed in kd.chains:
+    for key, source, gtype, gident, _member_regs, mode in kd.chains:
         v = _resolve_source(source, regs, closure_env)
         if v is _FAIL:
             return _DECLINE
@@ -157,10 +314,14 @@ def run_kernel(kd, regs, vm, closure_env):
             # decline, don't deopt: the scalar guard fails on the very next
             # iteration with a perfectly ordinary FrameState
             return _DECLINE
-        if indexed:
+        if gident is not None and v is not gident:
+            # same principle for identity guards (speculated call targets)
+            return _DECLINE
+        if mode:
             if not isinstance(v, RVector):
                 return _DECLINE
-            stop = min(stop, len(v.data))
+            if mode & 1:  # unit element-wise read: range-bounded + prescanned
+                stop = min(stop, len(v.data))
         invs[key] = v
     if stop <= ji:
         return _DECLINE
@@ -206,6 +367,60 @@ def run_kernel(kd, regs, vm, closure_env):
         else:
             acc = math.prod(data[ji:stop], start=acc)
         covered = stop - ji
+        regs[kd.idx_reg] = j0 + covered
+        for r in kd.seqv_regs:
+            regs[r] = ji + covered
+        regs[kd.acc_reg] = acc
+        return ("ok", covered * io, covered * ig, covered * ie, covered)
+
+    # -- fused map→reduce (acc ⊕= f(elements), gather / strided / unit) ------
+    if kind == "fsum":
+        acc = regs[kd.acc_reg]
+        if not _raw_number(acc):
+            return _DECLINE
+        spec = kd.pyfn
+        if spec is None:
+            spec = _compile_fsum(kd)
+            kd.pyfn = spec
+        if spec is False:
+            return _DECLINE
+        fn, f_elems, f_gathers, f_uinvs, f_rinvs = spec
+        # exception-freedom: with every operand a plain int/float the fused
+        # `+ - * /` chain cannot raise (division runs through _pdiv), so
+        # the only mid-vector surprises left are the per-element gather
+        # checks the loop itself encodes
+        for k in f_elems | f_gathers:
+            if invs[k].kind not in _NUMERIC_KINDS:
+                return _DECLINE
+        for k in f_uinvs:
+            v = invs[k]
+            if not (isinstance(v, RVector) and v.data) or not isinstance(
+                v.data[0], (int, float)
+            ):
+                return _DECLINE
+        for k in f_rinvs:
+            if not isinstance(invs[k], (int, float)):
+                return _DECLINE
+        if chaos is not None:
+            covered_end = stop
+            for jd in range(ji, stop):
+                # evaluate first (pure): a failing gather check ends
+                # coverage *before* this iteration, so its guard draws stay
+                # with the scalar loop that will re-run it
+                x = _fsum_eval(kd.expr, jd, invs)
+                if x is _FAIL:
+                    covered_end = jd
+                    break
+                for ev in events:
+                    if chaos.random() < rate:
+                        return _chaos_fire(kd, ev, regs, j0, ji, jd, acc, invs)
+                acc = acc + x if kd.acc_op == "+" else acc * x
+            covered = covered_end - ji
+        else:
+            t_stop, acc = fn(ji, stop, acc, invs)
+            covered = t_stop - ji
+        if covered <= 0:
+            return _DECLINE
         regs[kd.idx_reg] = j0 + covered
         for r in kd.seqv_regs:
             regs[r] = ji + covered

@@ -35,6 +35,22 @@ _KERNEL_OPCODE = {
     "fill": N.VFILL, "copy": N.VCOPYN,
 }
 
+
+def _kernel_opcode(plan) -> int:
+    """Opcode for a plan; fused reductions pick by recognized shape so the
+    disassembly / inspector name the addressing mode."""
+    if plan.kind != "fsum":
+        return _KERNEL_OPCODE[plan.kind]
+    if plan.addressing == "gather":
+        return N.VGATHER_REDUCE
+    if plan.addressing == "strided":
+        return N.VSUM_STRIDED
+    e = plan.expr
+    if (plan.acc_op == "+" and e[0] == "expr" and e[1] == "*"
+            and e[2][0] == "elem" and e[3][0] == "elem"):
+        return N.VDOT
+    return N.VMAP_REDUCE
+
 #: generic (boxed) opcodes — charged to native_generic_ops by the executors
 _GEN_CODES = frozenset((
     N.GEN_ARITH, N.GEN_COMPARE, N.GEN_LOGIC, N.GEN_UNARY, N.GEN_COLON,
@@ -47,7 +63,7 @@ _WALK_OK = frozenset((
     N.PADD, N.PSUB, N.PMUL, N.PDIV, N.PPOW, N.PNEG, N.PNOT, N.PMODF,
     N.PIDIVF, N.PLT, N.PLE, N.PGT, N.PGE, N.PEQ, N.PNE, N.MOVE, N.VLOAD,
     N.VLEN, N.VSTORE, N.BOX, N.UNBOX, N.FORCE, N.ISTYPE, N.ISIDENT, N.AS_LGL,
-    N.LDVAR_FREE,
+    N.LDVAR_FREE, N.LDFUN,
 )) | _GEN_CODES
 
 
@@ -70,7 +86,8 @@ def _role_needs_def(role: tuple) -> bool:
     tag = role[0]
     if tag == "box":
         return _role_needs_def(role[1])
-    return tag in ("idx1", "seq", "elem", "ex2", "acc_raw", "mapval")
+    return tag in ("idx1", "seq", "elem", "ex2", "acc_raw", "mapval",
+                   "gelem", "expr", "uinv")
 
 
 class DeoptDescr:
@@ -106,18 +123,20 @@ class KernelGuard:
     ``template`` rebuilds the loop-defined registers the guard's DeoptDescr
     reads for an arbitrary element index; ``guard_role`` identifies the
     guarded value (an invariant chain or the accumulator) so the chaos exit
-    can report the same ``observed`` type the scalar guard would;
+    can report the same ``observed`` the scalar guard would — the value's
+    type for a ``gtype`` guard, the value itself for a ``gident`` one;
     ``store_before`` is set when the loop's VecStore precedes the guard, so
     the partial iteration's store must be applied before materializing.
     """
 
-    __slots__ = ("did", "guard_role", "template", "store_before")
+    __slots__ = ("did", "guard_role", "template", "store_before", "kind")
 
-    def __init__(self, did, guard_role, template, store_before):
+    def __init__(self, did, guard_role, template, store_before, kind="gtype"):
         self.did = did
         self.guard_role = guard_role
         self.template = template
         self.store_before = store_before
+        self.kind = kind
 
 
 class KernelDescr:
@@ -137,7 +156,7 @@ class KernelDescr:
         "acc_kind", "acc_gtype", "chains", "elem_keys", "out_key",
         "store_kind", "val_spec", "cmp_op", "cmp_elem_first",
         "cmp_update_on_true", "iter_counts", "upd_counts", "skip_counts",
-        "events",
+        "events", "expr", "pyfn",
     )
 
     def __init__(self, kind):
@@ -155,8 +174,11 @@ class KernelDescr:
         self.acc_op = None
         self.acc_kind = None
         self.acc_gtype = None
-        #: [(key, source, gtype, member_regs, indexed)] — source is
-        #: ("env", name) or ("reg", reg); indexed marks element-wise reads
+        #: [(key, source, gtype, gident, member_regs, mode)] — source is
+        #: ("env", name), ("fun", name) or ("reg", reg); gident is the
+        #: expected value of a hoisted identity guard (or None); mode is a
+        #: bitmask: 1 = unit element-wise read (NA-prescanned, shrinks the
+        #: covered range), 2 = gather read (per-element bounds/NA checks)
         self.chains = ()
         self.elem_keys = ()
         self.out_key = None
@@ -171,6 +193,10 @@ class KernelDescr:
         self.skip_counts = (0, 0, 0)
         #: KernelGuard list in execution order (the chaos draw sequence)
         self.events = ()
+        #: fused map→reduce expression role tree (fsum kernels)
+        self.expr = None
+        #: lazily compiled per-descriptor Python reduction loop (fsum)
+        self.pyfn = None
 
     def __repr__(self) -> str:  # pragma: no cover
         return "<KernelDescr %s iter=%r>" % (self.kind, self.iter_counts)
@@ -387,7 +413,7 @@ class Lowerer:
                 # retained scalar loop; entry edges hit it once, backedges
                 # re-enter one op later (see _patch_branches)
                 self.kernel_sites.append((len(self.nc.ops), plan))
-                self.emit(_KERNEL_OPCODE[plan.kind], len(self.kernel_sites) - 1)
+                self.emit(_kernel_opcode(plan), len(self.kernel_sites) - 1)
             for ins in bb.instrs:
                 self._lower_instr(ins, fused)
         # synthesize move-blocks for critical edges and patch targets
@@ -551,10 +577,11 @@ class Lowerer:
         kd.iter_counts = iter_counts if iter_counts is not None else (0, 0, 0)
 
         # invariant chains
+        gather_keys = set(getattr(plan, "gather_keys", ()))
         chains = []
         for ch in plan.invs:
-            if ch.root[0] == "env":
-                source = ("env", ch.root[1])
+            if ch.root[0] in ("env", "fun"):
+                source = ch.root
             else:
                 r = self.reg_of.get(id(ch.root[1]))
                 if r is None:
@@ -563,8 +590,10 @@ class Lowerer:
             member_regs = tuple(
                 r for r in (self.reg_of.get(id(m)) for m in ch.members) if r is not None
             )
-            chains.append((ch.key, source, ch.gtype, member_regs, ch.key in plan.elem_keys))
+            mode = (1 if ch.key in plan.elem_keys else 0) | (2 if ch.key in gather_keys else 0)
+            chains.append((ch.key, source, ch.gtype, ch.gident, member_regs, mode))
         kd.chains = tuple(chains)
+        kd.expr = getattr(plan, "expr", None)
 
         # store value (map/fill/copy)
         if plan.val_spec is not None:
@@ -612,11 +641,25 @@ class Lowerer:
             grole = role_of_reg.get(op[1])
             if grole is None or grole[0] not in ("inv", "acc"):
                 return None
+            if gather_keys:
+                # chaos exactness: the kernel plays all of an iteration's
+                # draws before evaluating its gather subscripts, so a gather
+                # load that *precedes* a guard in scalar order (a failing
+                # subscript would deopt before the guard is reached) cannot
+                # be modeled — disable the kernel
+                for r in written_before:
+                    wrole = role_of_reg.get(r)
+                    if wrole is not None and wrole[0] == "gelem":
+                        return None
             descr = nc.deopts[did]
-            refs = {r for _n, r, _k in descr.env_slots}
-            refs.update(r for r, _k in descr.stack)
-            if descr.env_reg is not None:
-                refs.add(descr.env_reg)
+            refs = set()
+            d = descr
+            while d is not None:  # inlined frames chain through parent
+                refs.update(r for _n, r, _k in d.env_slots)
+                refs.update(r for r, _k in d.stack)
+                if d.env_reg is not None:
+                    refs.add(d.env_reg)
+                d = d.parent
             slots = []
             for r in sorted(refs):
                 role = role_of_reg.get(r)
@@ -630,11 +673,17 @@ class Lowerer:
                     return None
                 slots.append((r, role))
             tmpl = KernelFrameTemplate(slots, counts_incl[0], counts_incl[1], counts_incl[2])
-            events.append(KernelGuard(did, grole, tmpl, store_before))
+            events.append(KernelGuard(
+                did, grole, tmpl, store_before,
+                kind="gident" if op[0] == N.GIDENT else "gtype",
+            ))
         kd.events = tuple(events)
 
         # per-kind completeness
-        if kd.kind in ("sum", "prod"):
+        if kd.kind == "fsum":
+            if kd.acc_reg is None or kd.acc_kind is None or kd.expr is None:
+                return None
+        elif kd.kind in ("sum", "prod"):
             if kd.acc_reg is None or kd.acc_kind is None or not kd.elem_keys:
                 return None
         elif kd.kind == "gsum":
@@ -687,7 +736,7 @@ class Lowerer:
                     return None
                 fork = (op[2], op[3], t, f)
                 return None if events else (None, events, fork, frozenset(written))
-            if code == N.GTYPE:
+            if code == N.GTYPE or code == N.GIDENT:
                 counts[1] += 1
                 events.append((op, tuple(counts), frozenset(written), store_seen))
                 idx += 1
@@ -720,7 +769,7 @@ class Lowerer:
                     return tuple(counts)
                 idx = op[1]
                 continue
-            if code in (N.BRT, N.GTYPE):
+            if code in (N.BRT, N.GTYPE, N.GIDENT):
                 return None
             if code in _GEN_CODES:
                 counts[2] += 1

@@ -86,8 +86,19 @@ VMAP_ARITH = 66    # (op, kernel_idx)  elementwise map: out[i] = x[i] <op> const
 VCMP_REDUCE = 67   # (op, kernel_idx)  compare-select reduction (min/max)
 VFILL = 68         # (op, kernel_idx)  out[i] = const
 VCOPYN = 69        # (op, kernel_idx)  out[i] = src[i]
+# fused map→reduce kernels (loop-nest vectorization): the reduced value is a
+# whole expression tree per element — acc = acc ⊕ f(x[i], ...) — evaluated
+# without materializing the mapped temporary.  The opcode records the
+# recognized addressing/fusion shape; all four execute the same KernelDescr.
+VMAP_REDUCE = 70      # (op, kernel_idx)  acc = acc ⊕ f(x[i], invariants...)
+VDOT = 71             # (op, kernel_idx)  acc = acc + x[i] * y[i]
+VGATHER_REDUCE = 72   # (op, kernel_idx)  gather addressing: x[idx[i]]
+VSUM_STRIDED = 73     # (op, kernel_idx)  strided/affine addressing: x[a + s*i]
 
-KERNEL_OPS = frozenset((VSUM, VMAP_ARITH, VCMP_REDUCE, VFILL, VCOPYN))
+KERNEL_OPS = frozenset((
+    VSUM, VMAP_ARITH, VCMP_REDUCE, VFILL, VCOPYN,
+    VMAP_REDUCE, VDOT, VGATHER_REDUCE, VSUM_STRIDED,
+))
 
 NAMES = {v: k for k, v in list(globals().items()) if isinstance(v, int) and not k.startswith("_")}
 
@@ -105,6 +116,10 @@ _OPERAND_NAMES = {
     VCMP_REDUCE: ("kernel",),
     VFILL: ("kernel",),
     VCOPYN: ("kernel",),
+    VMAP_REDUCE: ("kernel",),
+    VDOT: ("kernel",),
+    VGATHER_REDUCE: ("kernel",),
+    VSUM_STRIDED: ("kernel",),
 }
 
 

@@ -982,6 +982,8 @@ _FACTORIES = {
     N.FUSED_GAP: _f_gap,
     N.VSUM: _f_kernel, N.VMAP_ARITH: _f_kernel, N.VCMP_REDUCE: _f_kernel,
     N.VFILL: _f_kernel, N.VCOPYN: _f_kernel,
+    N.VMAP_REDUCE: _f_kernel, N.VDOT: _f_kernel,
+    N.VGATHER_REDUCE: _f_kernel, N.VSUM_STRIDED: _f_kernel,
 }
 
 

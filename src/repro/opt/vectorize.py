@@ -73,12 +73,13 @@ class InvChain:
     (its deopt descriptor doubles as the chaos exit for this chain).
     """
 
-    __slots__ = ("key", "root", "gtype", "members", "guard_assume")
+    __slots__ = ("key", "root", "gtype", "gident", "members", "guard_assume")
 
     def __init__(self, key: int, root: Tuple[str, Any]):
         self.key = key
         self.root = root
         self.gtype = None
+        self.gident = None   # hoisted identity guard (IsIdentical expected value)
         self.members: List[I.Instr] = []
         self.guard_assume: Optional[I.Assume] = None
 
@@ -93,10 +94,11 @@ class LoopPlan:
         "acc_gtype", "acc_op", "invs", "roles", "elem_keys",
         "store", "out_key", "store_kind", "val_spec",
         "cmp_op", "cmp_elem_first", "cmp_update_block", "sel_phi",
+        "expr", "gather_keys", "addressing", "pc",
     )
 
     def __init__(self):
-        self.kind = None                 # 'sum' | 'prod' | 'gsum' | 'map' | 'fill' | 'copy' | 'cmp'
+        self.kind = None                 # 'sum' | 'prod' | 'gsum' | 'fsum' | 'map' | 'fill' | 'copy' | 'cmp'
         self.header = None
         self.body_blocks: List[BasicBlock] = []
         self.latch = None
@@ -123,13 +125,17 @@ class LoopPlan:
         self.cmp_elem_first = True
         self.cmp_update_block = None
         self.sel_phi = None
+        self.expr = None                 # fused map→reduce role tree (fsum)
+        self.gather_keys: List[int] = []  # inv keys read via computed subscripts
+        self.addressing = "unit"         # 'unit' | 'strided' | 'gather'
+        self.pc = -1                     # approximate bytecode pc of the loop
 
     def __repr__(self) -> str:  # pragma: no cover
         return "<LoopPlan %s header=BB%d>" % (self.kind, self.header.id if self.header else -1)
 
 
 #: cap on the per-VM (fn, pc, reason) decline log — counts are unbounded,
-#: the log is a diagnostic sample
+#: the log is a deduped diagnostic sample of distinct sites
 _DECLINE_LOG_CAP = 200
 
 
@@ -146,21 +152,49 @@ def vectorize_loops(graph: Graph, config=None, state=None) -> List[LoopPlan]:
     if not graph.env_elided:
         # an escaping environment can be mutated behind the kernel's back
         return plans
-    declines: List[Tuple[str, int]] = []
+    declines: List[Tuple[str, int, frozenset]] = []
     uses = graph.compute_uses()
     for bb in graph.rpo():
         plan = _match_loop(graph, bb, uses, declines.append)
         if plan is not None:
             plans.append(plan)
     if state is not None:
-        for reason, pc in declines:
-            state.vec_declines += 1
-            state.vec_decline_reasons[reason] = (
-                state.vec_decline_reasons.get(reason, 0) + 1
-            )
-            if len(state.vec_decline_log) < _DECLINE_LOG_CAP:
-                state.vec_decline_log.append((graph.name, pc, reason))
+        _record_telemetry(graph, plans, declines, state)
     return plans
+
+
+def _record_telemetry(graph: Graph, plans, declines, state) -> None:
+    # a "nested-control" decline whose collected blocks contain a planned
+    # inner header is the *outer scalar driver* of a recognized nest — the
+    # inner loop kernelizes, so retag the decline to make that auditable
+    plan_headers = {p.header.id: p for p in plans}
+    outer_pcs: Dict[int, int] = {}
+    for i, (reason, pc, ids) in enumerate(declines):
+        if reason == "nested-control":
+            inner = [h for h in plan_headers if h in ids]
+            if inner:
+                declines[i] = ("outer-driver", pc, ids)
+                for h in inner:
+                    outer_pcs.setdefault(h, pc)
+    for reason, pc, _ids in declines:
+        state.vec_declines += 1
+        state.vec_decline_reasons[reason] = (
+            state.vec_decline_reasons.get(reason, 0) + 1
+        )
+        # dedupe: one log entry per (fn, pc, reason) with an occurrence count
+        key = (graph.name, pc, reason)
+        for j, entry in enumerate(state.vec_decline_log):
+            if entry[:3] == key:
+                state.vec_decline_log[j] = key + (entry[3] + 1,)
+                break
+        else:
+            if len(state.vec_decline_log) < _DECLINE_LOG_CAP:
+                state.vec_decline_log.append(key + (1,))
+    for p in plans:
+        entry = (graph.name, p.pc, p.kind, p.addressing,
+                 outer_pcs.get(p.header.id))
+        if entry not in state.vec_plans and len(state.vec_plans) < _DECLINE_LOG_CAP:
+            state.vec_plans.append(entry)
 
 
 # ---------------------------------------------------------------------------
@@ -192,7 +226,9 @@ def _match_loop(graph: Graph, header: BasicBlock, uses, report=None) -> Optional
 
     def decline(reason: str) -> None:
         if report is not None:
-            report((reason, loop_pc()))
+            # the collected block ids let the caller recognize this loop as
+            # the outer driver of a planned inner kernel (nest retagging)
+            report((reason, loop_pc(), frozenset(bb.id for bb in body)))
         return None
 
     def fail(reason: str) -> bool:
@@ -214,7 +250,9 @@ def _match_loop(graph: Graph, header: BasicBlock, uses, report=None) -> Optional
     body_entry, plan.exit_block = term.true_block, term.false_block
 
     # collect the loop body: blocks reachable from the body entry without
-    # passing through the header again
+    # passing through the header again.  The body is collected *fully* (so a
+    # "nested-control" decline can report which blocks it saw — the nest
+    # retagging in ``vectorize_loops`` keys on them), then bounded.
     seen = {header.id}
     work = [body_entry]
     while work:
@@ -223,12 +261,16 @@ def _match_loop(graph: Graph, header: BasicBlock, uses, report=None) -> Optional
             continue
         seen.add(bb.id)
         body.append(bb)
-        if len(body) > 4:  # nested control flow — not a simple counted loop
+        if len(body) > 64:  # runaway region — give up collecting
             return decline("nested-control")
         for s in bb.successors():
             if s is not header:
                 work.append(s)
     body_ids = {bb.id for bb in body}
+    # an inner cycle (a back-edge within the body) means a nested loop: this
+    # loop stays scalar and can only be the outer driver of an inner kernel
+    if _has_inner_cycle(body_entry, header, body_ids):
+        return decline("nested-control")
     if plan.exit_block.id in body_ids:
         return decline("irreducible-body")
     # single latch; no side entries into the body
@@ -285,6 +327,7 @@ def _match_loop(graph: Graph, header: BasicBlock, uses, report=None) -> Optional
 
     if not _assign_roles(graph, plan, uses, in_loop, fail):
         return None
+    plan.pc = loop_pc()
     return plan
 
 
@@ -293,6 +336,30 @@ def _phi_input(phi: I.Phi, pred: BasicBlock):
         if blk is pred:
             return val
     return None
+
+
+def _has_inner_cycle(entry: BasicBlock, header: BasicBlock, body_ids) -> bool:
+    """DFS back-edge detection within the body region (edges to the header —
+    the loop's own backedge — excluded).  Forks/joins (the compare-select
+    diamond) are acyclic and pass; a nested loop's latch→header edge trips."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {bid: WHITE for bid in body_ids}
+    succs = lambda b: iter([s for s in b.successors()
+                            if s is not header and s.id in body_ids])
+    color[entry.id] = GRAY
+    stack = [(entry, succs(entry))]
+    while stack:
+        node, it = stack[-1]
+        nxt = next(it, None)
+        if nxt is None:
+            color[node.id] = BLACK
+            stack.pop()
+        elif color[nxt.id] == GRAY:
+            return True
+        elif color[nxt.id] == WHITE:
+            color[nxt.id] = GRAY
+            stack.append((nxt, succs(nxt)))
+    return False
 
 
 def _is_identity_colon(v: I.Instr, in_loop) -> bool:
@@ -322,7 +389,6 @@ _OP_DECLINES = {
     I.Call: "call",
     I.StaticCall: "call",
     I.CallBuiltin: "call",
-    I.LdFun: "call",
     I.CheckFun: "call",
     I.MkClosure: "closure-alloc",
     I.MkPromise: "closure-alloc",
@@ -360,6 +426,26 @@ def _assign_roles(graph: Graph, plan: LoopPlan, uses, in_loop, fail) -> bool:
             return new_chain(("value", v))
         return None
 
+    #: roles a fused expression tree may reference directly
+    _EXPR_OK = ("elem", "gelem", "seq", "idx1", "idx", "inv", "uinv", "expr", "cval")
+
+    def expr_role(v: I.Instr):
+        """The role of ``v`` usable as a fused-expression operand, or None."""
+        r = roles.get(id(v))
+        if r is not None and r[0] in _EXPR_OK:
+            return r
+        if isinstance(v, I.Const):
+            val = getattr(v, "value", None)
+            if hasattr(val, "data") and hasattr(val, "kind"):  # boxed scalar
+                val = val.data[0] if len(val.data) == 1 else None
+            if val is not None and isinstance(val, (int, float)):
+                return ("cval", val)
+            return None
+        if not in_loop(v):
+            ch = new_chain(("value", v))
+            return ("inv", ch.key)
+        return None
+
     # -- header phis: the accumulator and invariant-valued vector phis -------
     acc_candidates: List[I.Phi] = []
     for phi in plan.header.phis():
@@ -388,6 +474,7 @@ def _assign_roles(graph: Graph, plan: LoopPlan, uses, in_loop, fail) -> bool:
     plan.acc_phi = acc_phi
 
     istype_guards: Dict[int, I.Instr] = {}   # id(IsType) -> guarded value
+    ident_guards: Dict[int, I.Instr] = {}    # id(IsIdentical) -> guarded value
     acc_update = None
     cmp_ins = None
     store = None
@@ -406,6 +493,17 @@ def _assign_roles(graph: Graph, plan: LoopPlan, uses, in_loop, fail) -> bool:
                 if ins.args:  # env-chain load through a real environment
                     return fail("env-chain-load")
                 ch = new_chain(("env", ins.vname))
+                ch.members.append(ins)
+                roles[id(ins)] = ("inv", ch.key)
+                continue
+            if t is I.LdFun:
+                # a function lookup re-executed every iteration: invariant as
+                # long as no body op stores into an environment (none may).
+                # The kernel replays the lexical-chain lookup once at entry
+                # and declines if the name does not resolve to a function.
+                if ins.args:  # lookup through a real environment
+                    return fail("env-chain-load")
+                ch = new_chain(("fun", ins.vname))
                 ch.members.append(ins)
                 roles[id(ins)] = ("inv", ch.key)
                 continue
@@ -453,34 +551,62 @@ def _assign_roles(graph: Graph, plan: LoopPlan, uses, in_loop, fail) -> bool:
                 ch.gtype = ins.test_type
                 istype_guards[id(ins)] = src
                 continue
+            if t is I.IsIdentical:
+                # must lower to a fused GIDENT: single use feeding one Assume
+                users = uses.get(ins, [])
+                if len(users) != 1 or not isinstance(users[0], I.Assume):
+                    return fail("unfused-guard")
+                ch = chain_of(ins.args[0])
+                if ch is None:
+                    return fail("non-invariant-operand")
+                if ch.gident is not None and ch.gident is not ins.expected:
+                    return fail("conflicting-guards")
+                ch.gident = ins.expected
+                ident_guards[id(ins)] = ins.args[0]
+                continue
             if t is I.Assume:
                 cond = ins.args[0]
-                if id(cond) not in istype_guards:
-                    # cold-branch / identity assumes: not modeled
+                src = istype_guards.get(id(cond)) or ident_guards.get(id(cond))
+                if src is None:
+                    # cold-branch assumes: not modeled
                     return fail("unmodeled-assume")
-                src = istype_guards[id(cond)]
                 r = roles.get(id(src))
                 if r is not None and r[0] == "inv":
                     invs[r[1]].guard_assume = ins
                 continue
             if t is I.VecLoad:
                 if ins.args[1] is not plan.seq_load and ins.args[1] is not plan.idx_inc:
-                    return fail("gather-index")
+                    # a computed subscript: gather addressing, legal when the
+                    # index is itself a fused-expression role (x[idx[i]],
+                    # x[a + s*i]).  Per-element bounds/NA checks run in the
+                    # kernel and stop coverage *before* a failing element.
+                    idx_role = expr_role(ins.args[1])
+                    if idx_role is None:
+                        return fail("gather-index")
+                    ch = chain_of(ins.args[0])
+                    if ch is None:
+                        return fail("non-invariant-vector")
+                    roles[id(ins)] = ("gelem", ch.key, idx_role)
+                    if ch.key not in plan.gather_keys:
+                        plan.gather_keys.append(ch.key)
+                    continue
                 ch = chain_of(ins.args[0])
                 if ch is None:
                     return fail("non-invariant-vector")
                 key = ch.key
-                prev = roles.get(id(ins))
                 roles[id(ins)] = ("elem", key)
                 if key not in plan.elem_keys:
                     plan.elem_keys.append(key)
                 continue
             if t is I.Unbox:
                 r = roles.get(id(ins.args[0]))
-                if r != ("acc",):
-                    return fail("unrecognized-unbox")
-                roles[id(ins)] = ("acc_raw",)
-                continue
+                if r == ("acc",):
+                    roles[id(ins)] = ("acc_raw",)
+                    continue
+                if r is not None and r[0] == "inv":
+                    roles[id(ins)] = ("uinv", r[1])
+                    continue
+                return fail("unrecognized-unbox")
             if t is I.Box:
                 r = roles.get(id(ins.args[0]))
                 if r is None:
@@ -513,18 +639,30 @@ def _assign_roles(graph: Graph, plan: LoopPlan, uses, in_loop, fail) -> bool:
             if t is I.PrimArith:
                 ra = roles.get(id(ins.args[0]))
                 rb = roles.get(id(ins.args[1]))
-                if acc_phi is not None and acc_update is None and (
-                    (ins.args[0] is acc_phi and rb is not None and rb[0] == "elem")
-                    or (ins.args[1] is acc_phi and ra is not None and ra[0] == "elem")
-                ) and ins.op in ("+", "*"):
-                    plan.kind = "sum" if ins.op == "+" else "prod"
-                    plan.acc_op = ins.op
-                    plan.acc_kind = ins.kind
-                    acc_update = ins
-                    roles[id(ins)] = ("acc_next",)
-                    continue
-                # elementwise map value: elem <op> invariant operand
-                if ins.op in _MAP_OPS and mapval is None:
+                # reduction update: acc ⊕ X, where X is a bare element (the
+                # sum/prod fast shape) or a whole fused expression (fsum)
+                if acc_phi is not None and acc_update is None and ins.op in ("+", "*"):
+                    a_is_acc = ins.args[0] is acc_phi or ra == ("acc",)
+                    b_is_acc = ins.args[1] is acc_phi or rb == ("acc",)
+                    if a_is_acc != b_is_acc:
+                        other = ins.args[1] if a_is_acc else ins.args[0]
+                        ro = rb if a_is_acc else ra
+                        if ro is not None and ro[0] == "elem":
+                            plan.kind = "sum" if ins.op == "+" else "prod"
+                        else:
+                            ro = expr_role(other)
+                            if ro is not None:
+                                plan.kind = "fsum"
+                                plan.expr = ro
+                        if plan.kind is not None:
+                            plan.acc_op = ins.op
+                            plan.acc_kind = ins.kind
+                            acc_update = ins
+                            roles[id(ins)] = ("acc_next",)
+                            continue
+                # elementwise map value: elem <op> invariant operand (store
+                # loops only — reduction loops fuse through expr roles)
+                if ins.op in _MAP_OPS and mapval is None and acc_phi is None:
                     elem_first = ra is not None and ra[0] == "elem"
                     other = ins.args[1] if elem_first else ins.args[0]
                     this = ins.args[0] if elem_first else ins.args[1]
@@ -534,6 +672,13 @@ def _assign_roles(graph: Graph, plan: LoopPlan, uses, in_loop, fail) -> bool:
                     ):
                         mapval = (ins, ins.op, elem_first, other)
                         roles[id(ins)] = ("mapval",)
+                        continue
+                # an interior node of a fused map→reduce expression
+                if ins.op in _MAP_OPS:
+                    ea = expr_role(ins.args[0])
+                    eb = expr_role(ins.args[1])
+                    if ea is not None and eb is not None:
+                        roles[id(ins)] = ("expr", ins.op, ea, eb)
                         continue
                 return fail("unrecognized-arith")
             if t is I.PrimCompare:
@@ -599,12 +744,15 @@ def _assign_roles(graph: Graph, plan: LoopPlan, uses, in_loop, fail) -> bool:
 
 def _chases_to_phi(v: I.Instr, phi: I.Phi) -> bool:
     """Backedge value of an invariant phi: Force/CastType/in-place VecStore
-    chains terminating at the phi itself."""
+    chains terminating at the phi itself.  Box/Unbox round-trips are chased
+    too: a guarded scalar invariant re-boxed each iteration
+    (``Box(Unbox(Force(phi)))``) carries the same payload — the guard pins
+    the kind, so the re-box is value-identical."""
     seen = 0
-    while seen < 8:
+    while seen < 12:
         if v is phi:
             return True
-        if isinstance(v, (I.Force, I.CastType, I.VecStore)):
+        if isinstance(v, (I.Force, I.CastType, I.VecStore, I.Box, I.Unbox)):
             v = v.args[0]
             seen += 1
             continue
@@ -612,9 +760,52 @@ def _chases_to_phi(v: I.Instr, phi: I.Phi) -> bool:
     return False
 
 
+def _classify_addressing(plan: LoopPlan, fail) -> bool:
+    """Bound the fused expression and tag the plan's addressing mode:
+    ``gather`` when any subscript reads a data vector (``x[idx[i]]``),
+    ``strided`` when subscripts are affine in the induction variable only
+    (``x[a + s*i]``), ``unit`` otherwise."""
+    nodes = 0
+    gathers = []
+    work = [plan.expr]
+    while work:
+        r = work.pop()
+        nodes += 1
+        if nodes > 64:
+            # spectralnorm's inlined eval_A chain is ~29 nodes; the cap only
+            # exists to bound pathological machine-generated expressions
+            return fail("fused-expr-too-large")
+        if r[0] == "expr":
+            work.append(r[2])
+            work.append(r[3])
+        elif r[0] == "gelem":
+            gathers.append(r[2])
+            work.append(r[2])
+    if not gathers:
+        plan.addressing = "unit"
+        return True
+
+    def reads_data(role) -> bool:
+        stk = [role]
+        while stk:
+            r = stk.pop()
+            if r[0] in ("elem", "gelem"):
+                return True
+            if r[0] == "expr":
+                stk.append(r[2])
+                stk.append(r[3])
+        return False
+
+    plan.addressing = "gather" if any(reads_data(g) for g in gathers) else "strided"
+    return True
+
+
 def _classify(graph: Graph, plan: LoopPlan, uses, in_loop, acc_update, cmp_ins, store, fail) -> bool:
     header, latch = plan.header, plan.latch
 
+    if plan.gather_keys and not (store is None and cmp_ins is None and acc_update is not None):
+        # gather addressing is only modeled for fused reductions
+        return fail("gather-index")
     if store is not None:
         if acc_update is not None or cmp_ins is not None or plan.acc_phi is not None:
             return fail("mixed-store-reduction")
@@ -650,7 +841,8 @@ def _classify(graph: Graph, plan: LoopPlan, uses, in_loop, acc_update, cmp_ins, 
         plan.cmp_update_block = update_block
         plan.kind = "cmp"
         # chaos draws inside a fork cannot be scheduled — require a guardless body
-        if any(ch.gtype is not None for ch in plan.invs) or plan.acc_gtype is not None:
+        if any(ch.gtype is not None or ch.gident is not None for ch in plan.invs) \
+                or plan.acc_gtype is not None:
             return fail("guard-in-forked-body")
     elif acc_update is not None:
         if plan.acc_phi is None or _phi_input(plan.acc_phi, latch) is not acc_update:
@@ -661,8 +853,15 @@ def _classify(graph: Graph, plan: LoopPlan, uses, in_loop, acc_update, cmp_ins, 
         elif plan.kind in ("sum", "prod"):
             if plan.acc_gtype is not None:
                 return fail("reduction-shape")
+        elif plan.kind == "fsum":
+            if plan.acc_gtype is not None:
+                return fail("reduction-shape")
+            if not _classify_addressing(plan, fail):
+                return False
         else:
             return fail("reduction-shape")
+        if plan.kind != "fsum" and plan.gather_keys:
+            return fail("gather-index")
     else:
         return fail("no-reduction")
 

@@ -186,6 +186,11 @@ def eval_kernel_role(role, st: "KernelIterState"):
     * ``("ex2", key)`` — the boxed generic extract of vector ``key``'s element
     * ``("mapval",)`` — the elementwise map value of the current element
     * ``("box", inner, kind)`` — the boxed form of another role
+    * ``("cval", v)`` — a raw scalar constant preloaded outside the loop
+    * ``("uinv", key)`` — the raw (unboxed) payload of invariant ``key``
+    * ``("gelem", key, idx_role)`` — a gathered element: vector ``key``
+      subscripted with the 1-based index computed by ``idx_role``
+    * ``("expr", op, a, b)`` — a fused arithmetic node over two other roles
     """
     tag = role[0]
     if tag == "idx":
@@ -221,7 +226,40 @@ def eval_kernel_role(role, st: "KernelIterState"):
         elif kind.name == "INT" and type(inner) is bool:
             inner = int(inner)
         return RVector(kind, [inner])
+    if tag == "cval":
+        return role[1]
+    if tag == "uinv":
+        v = st.invs[role[1]]
+        return v.data[0] if hasattr(v, "data") else v
+    if tag == "gelem":
+        idx = eval_kernel_role(role[2], st)
+        return st.invs[role[1]].data[int(idx) - 1]
+    if tag == "expr":
+        a = eval_kernel_role(role[2], st)
+        b = eval_kernel_role(role[3], st)
+        op = role[1]
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        return _pdiv_role(a, b)
     raise ValueError("unknown kernel role %r" % (role,))
+
+
+def _pdiv_role(a, b):
+    """R division semantics for ``("expr", "/", ...)`` roles — an exact
+    replica of the executor's PDIV: zero-division yields inf/nan."""
+    import math
+
+    if b == 0:
+        if isinstance(a, complex) or isinstance(b, complex):
+            from ..runtime.errors import RError
+
+            raise RError("complex division by zero")
+        return float("nan") if a == 0 else math.copysign(math.inf, a)
+    return a / b
 
 
 class KernelFrameTemplate:

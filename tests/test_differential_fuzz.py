@@ -235,6 +235,112 @@ def test_entry_contexts_agree_across_tiers_and_engines(src, xs, rounds):
     assert all(s == sigs[0] for s in sigs), src
 
 
+@st.composite
+def nested_loop_program(draw):
+    """A counted inner loop under a scalar outer driver — loop-nest
+    vectorizer fodder.  The inner reduction fuses a map→reduce chain that
+    may run through an inlined helper call or read the outer loop's
+    variable as an invariant."""
+    acc_init = draw(st.sampled_from(["0", "0L", "1.5"]))
+    inner_init = draw(st.sampled_from(["0", "0L"]))
+    red_op = draw(st.sampled_from(["+", "*"]))
+    map_op = draw(st.sampled_from(["+", "-", "*"]))
+    k = draw(st.integers(1, 4))
+    body = draw(st.sampled_from([
+        "s <- s %(red)s g(v[[i]])",       # fused inlined call
+        "s <- s %(red)s v[[i]] %(map)s o",  # outer variable as invariant
+        "s <- s %(red)s v[[i]] %(map)s %(k)dL",
+    ])) % {"red": red_op, "map": map_op, "k": k}
+    return """
+g <- function(x) x %s %dL
+nest <- function(v, m, n) {
+  total <- %s
+  for (o in 1:m) {
+    s <- %s
+    for (i in 1:n) %s
+    total <- total + s
+  }
+  total
+}
+""" % (map_op, k, acc_init, inner_init, body)
+
+
+@given(nested_loop_program(), vectors, st.integers(1, 5))
+@settings(max_examples=20, deadline=None)
+def test_nested_loops_agree_across_tiers_and_engines(src, xs, m):
+    """Loop nests (vectorized inner kernel, scalar outer driver) compute
+    interpreter-identical results on every engine, with identical dispatch
+    signatures — vectorization must be invisible in the signature."""
+    n = len(xs)
+    vec = "c(%s)" % ", ".join("%dL" % x for x in xs)
+    call = "nest(%s, %dL, %dL)" % (vec, m, n)
+    vm_ref = make_vm(enable_jit=False)
+    vm_ref.eval(src)
+    expected = [from_r(vm_ref.eval(call)) for _ in range(3)]
+    sigs = []
+    for eng in ENGINE_LEGS:
+        vm = make_vm(compile_threshold=1, osr_threshold=50, **eng)
+        vm.eval(src)
+        got = [from_r(vm.eval(call)) for _ in range(3)]
+        assert got == expected, (src, got, expected)
+        sigs.append(vm.state.dispatch_signature())
+    assert all(s == sigs[0] for s in sigs), src
+
+
+@st.composite
+def gather_program(draw):
+    """A reduction whose subscript is itself a vector element — gather
+    addressing (``v[[idx[[i]]]]``)."""
+    acc_init = draw(st.sampled_from(["0", "0L"]))
+    map_tail = draw(st.sampled_from(["", " * 2L", " + 1L"]))
+    return """
+gsum <- function(v, idx, n) {
+  s <- %s
+  for (i in 1:n) s <- s + v[[idx[[i]]]]%s
+  s
+}
+""" % (acc_init, map_tail)
+
+
+@given(
+    gather_program(),
+    vectors,
+    st.lists(st.integers(1, 12), min_size=1, max_size=9),
+    st.booleans(),
+)
+@settings(max_examples=20, deadline=None)
+def test_gather_subscripts_agree_across_tiers_and_engines(src, xs, raw_idx, oob):
+    """Gather kernels match the interpreter element-for-element on every
+    engine — including the out-of-bounds case, where the kernel must end
+    coverage at the failing element and let the scalar tier raise the
+    exact subscript error."""
+    n_v = len(xs)
+    idx = [1 + (j - 1) % n_v for j in raw_idx]
+    if oob:
+        idx[len(idx) // 2] = n_v + 3  # guaranteed out-of-range subscript
+    vec = "c(%s)" % ", ".join("%dL" % x for x in xs)
+    ivec = "c(%s)" % ", ".join("%dL" % j for j in idx)
+    call = "gsum(%s, %s, %dL)" % (vec, ivec, len(idx))
+
+    def observe(vm):
+        try:
+            return from_r(vm.eval(call))
+        except Exception as e:  # noqa: BLE001 — error identity is the point
+            return ("error", str(e))
+
+    vm_ref = make_vm(enable_jit=False)
+    vm_ref.eval(src)
+    expected = [observe(vm_ref) for _ in range(3)]
+    sigs = []
+    for eng in ENGINE_LEGS:
+        vm = make_vm(compile_threshold=1, osr_threshold=50, **eng)
+        vm.eval(src)
+        got = [observe(vm) for _ in range(3)]
+        assert got == expected, (src, call, got, expected)
+        sigs.append(vm.state.dispatch_signature())
+    assert all(s == sigs[0] for s in sigs), src
+
+
 @given(inline_program(), st.integers(2, 10), st.integers(0, 2**31))
 @settings(max_examples=12, deadline=None)
 def test_chaos_deopts_inside_inlined_bodies(src, n, seed):
