@@ -1,0 +1,102 @@
+"""Closure-heavy microbenchmarks — functions whose local frame is captured.
+
+These are the environment-escape-analysis workloads (``opt/escape.py``).
+Each hot function creates a closure or a lazy argument, which under the
+classic all-or-nothing heuristic forces *every* local through a
+materialized ``REnvironment``: the loop counter, the bound, and the
+accumulator all pay boxed environment loads and stores per iteration.
+Escape analysis partitions the frame instead — only the genuinely captured
+names live in a partial ``MkEnv`` environment, the loop state stays in
+unboxed SSA registers, and provably forced-once effect-free arguments skip
+promise allocation entirely.
+
+* ``envcap_counter`` — a counter/accumulator closure: the loop body bumps
+  a captured total through ``<<-`` while the induction state is private.
+* ``envcap_memo`` — a memoizing closure: two captured cache slots are read
+  and written through the environment, the summation loop is private.
+* ``envcap_lazy`` — a lazy-argument chain: the argument expression calls a
+  user closure, so the compiler cannot evaluate it eagerly and emits a
+  promise; the escape analysis proves the consuming call forces it exactly
+  once with no intervening effects and elides the allocation.
+
+The helper closures of ``envcap_lazy`` live at global scope deliberately:
+per-activation closures have unstable identities, which would make the
+thunk's call feedback polymorphic and (correctly) block the elision proof.
+"""
+
+from __future__ import annotations
+
+from ..workload import REGISTRY, Workload
+
+REGISTRY.add(Workload(
+    name="envcap_counter",
+    source="""
+counter_run <- function(n) {
+  total <- 0
+  bump <- function(k) total <<- total + k
+  i <- 0
+  while (i < n) {
+    bump(1)
+    i <- i + 1
+  }
+  total
+}
+""",
+    setup="invisible(NULL)",
+    call="counter_run({n})",
+    n=30000,
+    n_test=3000,
+    notes="captured accumulator via <<-; induction state stays scalar",
+))
+
+REGISTRY.add(Workload(
+    name="envcap_memo",
+    source="""
+memo_run <- function(n) {
+  last <- -1
+  lastv <- 0
+  sq <- function(x) {
+    if (x == last) lastv
+    else {
+      last <<- x
+      lastv <<- x * x
+      lastv
+    }
+  }
+  s <- 0
+  i <- 0
+  while (i < n) {
+    s <- s + sq(i %% 8)
+    i <- i + 1
+  }
+  s
+}
+""",
+    setup="invisible(NULL)",
+    call="memo_run({n})",
+    n=25000,
+    n_test=2500,
+    notes="memoizing closure over two captured cache slots",
+))
+
+REGISTRY.add(Workload(
+    name="envcap_lazy",
+    source="""
+lz_add1 <- function(x) x + 1
+lz_use <- function(v) v * 2
+lazysum_run <- function(n) {
+  s <- 0
+  i <- 0
+  while (i < n) {
+    s <- s + lz_use(lz_add1(i))
+    i <- i + 1
+  }
+  s
+}
+""",
+    setup="invisible(NULL)",
+    call="lazysum_run({n})",
+    n=30000,
+    n_test=3000,
+    notes="lazy-argument chain; the promise allocation is provably elidable",
+))

@@ -173,7 +173,12 @@ def call_continuation(vm, ncode: NativeCode, fs: FrameState) -> Any:
     re-materialized environment object.
     """
     if ncode.env_elided:
-        if fs.env_values is not None:
+        if fs.env_values is not None and fs.env is not None:
+            # mixed (escape) frame: locals are split between scalar slots
+            # and the partial environment — merge before buffer-passing
+            values = dict(fs.env.bindings)
+            values.update(fs.env_values)
+        elif fs.env_values is not None:
             values = fs.env_values
         else:
             values = fs.env.bindings

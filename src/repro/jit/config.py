@@ -40,6 +40,13 @@ def _vectorize_default() -> bool:
     return os.environ.get("RERPO_VECTORIZE", os.environ.get("REPRO_VECTORIZE", "1")) != "0"
 
 
+def _escape_default() -> bool:
+    """Global environment escape analysis (opt/escape.py + builder mixed
+    mode) is on by default; ``RERPO_ESCAPE=0`` reverts to the all-or-nothing
+    env-mode heuristic (CI covers that leg)."""
+    return os.environ.get("RERPO_ESCAPE", os.environ.get("REPRO_ESCAPE", "1")) != "0"
+
+
 def _codecache_default() -> bool:
     """The context-keyed code cache is on by default; ``RERPO_CODECACHE=0``
     disables it (CI covers the always-recompile path with this leg)."""
@@ -105,6 +112,14 @@ class Config:
     #: the cost model and dispatch signature are engine-independent; the
     #: real speedup shows up in wall-clock only (benchmarks/).
     vectorize: bool = field(default_factory=_vectorize_default)
+    #: global environment escape analysis (opt/escape.py): functions whose
+    #: local environment only escapes through analyzable closure/promise
+    #: captures compile in mixed mode — provably-local slots become SSA
+    #: registers, harmless captures drop their env edge, provably
+    #: forced-once effect-free arguments skip promise allocation, and cold
+    #: capture branches turn into ``Assume(env-not-captured)`` guards whose
+    #: frame states rematerialize the elided environment at deopt
+    escape: bool = field(default_factory=_escape_default)
     #: speculative call-target inlining (opt/inline.py): monomorphic
     #: ``CallFeedback`` sites splice the callee's IR under the existing
     #: identity guard.  Checkpoints inside the inlined body carry nested

@@ -45,7 +45,9 @@ from ..runtime.env import REnvironment
 from ..runtime.values import NULL, RBuiltin, RClosure, RNull
 from .codecache import Unstable, WorldResolver, stable_closure_hash
 
-FORMAT_VERSION = 1
+#: bumped to 2 when DeoptDescr grew the escape-analysis rematerialization
+#: fields (promises, escape) — version-1 artifacts lack the slots
+FORMAT_VERSION = 2
 
 
 class PersistError(Exception):

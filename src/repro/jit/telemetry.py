@@ -14,6 +14,26 @@ from typing import Any, Dict, List, Optional
 
 from ..runtime.values import RVector
 
+#: bound on the deduped diagnostic logs (vectorizer declines, escape
+#: verdicts): compile-time detail, capped so pathological workloads cannot
+#: grow telemetry without bound
+_DEDUP_LOG_CAP = 200
+
+
+def dedup_log(log: List[tuple], key: tuple, cap: int = _DEDUP_LOG_CAP) -> None:
+    """Append ``key + (count,)`` to a bounded deduplicated log.
+
+    Repeats of the same key bump its trailing count in place; new keys are
+    appended until ``cap`` distinct entries exist, then dropped.  Shared by
+    the vectorizer decline log and the escape-analysis verdict log.
+    """
+    for j, entry in enumerate(log):
+        if entry[:-1] == key:
+            log[j] = key + (entry[-1] + 1,)
+            return
+    if len(log) < cap:
+        log.append(key + (1,))
+
 
 @dataclass
 class Event:
@@ -107,6 +127,23 @@ class Telemetry:
         #: None.  Compile-time analysis detail — excluded from
         #: dispatch_signature() like the decline log.
         self.vec_plans: List[tuple] = []
+        #: environment escape analysis (opt/escape.py).  Compile-time
+        #: decisions plus one runtime counter; all stay out of
+        #: dispatch_signature() like the ctx_* precedent — they describe how
+        #: code was compiled / how a deopt rebuilt state, not what executed.
+        #: Functions compiled with their local env fully or partially
+        #: scalar-replaced:
+        self.env_elided = 0
+        #: argument promises whose allocation was elided (value computed
+        #: inline at the MK_PROMISE site)
+        self.promise_elided = 0
+        #: Assume(env-not-captured) guards protecting cold capture paths
+        self.escape_guards = 0
+        #: deopts that rematerialized an elided environment (and rewrapped
+        #: elided promises) from frame-state slot maps
+        self.env_remat = 0
+        #: bounded deduped (fn, verdict, blocked, count) log for inspectors
+        self.escape_log: List[tuple] = []
         #: background/step tier-up queue (jit/compile_queue.py)
         self.tierup_enqueues = 0
         self.tierup_installs = 0
@@ -229,6 +266,10 @@ class Telemetry:
             "vec_declines": self.vec_declines,
             "vec_decline_reasons": dict(self.vec_decline_reasons),
             "vec_plans": len(self.vec_plans),
+            "env_elided": self.env_elided,
+            "promise_elided": self.promise_elided,
+            "escape_guards": self.escape_guards,
+            "env_remat": self.env_remat,
             "tierup_enqueues": self.tierup_enqueues,
             "ir_verifies": self.ir_verifies,
             "allocations": self.allocations(),

@@ -95,17 +95,21 @@ class DeoptDescr:
 
     __slots__ = (
         "code", "pc", "env_slots", "stack", "env_reg", "reason_kind",
-        "reason_pc", "expected", "parent", "fun",
+        "reason_pc", "expected", "parent", "fun", "promises", "escape",
     )
 
     def __init__(self, code, pc, env_slots, stack, env_reg, reason_kind,
-                 reason_pc, expected, parent=None, fun=None):
+                 reason_pc, expected, parent=None, fun=None, promises=(),
+                 escape=False):
         self.code = code
         self.pc = pc
         #: [(name, reg, kind_or_None)] — kind set when the reg holds a raw value
         self.env_slots: List[Tuple[str, int, Optional[Kind]]] = env_slots
         #: [(reg, kind_or_None)]
         self.stack: List[Tuple[int, Optional[Kind]]] = stack
+        #: mixed (escape) mode: the register of the *partial* environment.
+        #: Unlike classic env mode, env_slots may be populated at the same
+        #: time — rematerialization merges the register slots back into it.
         self.env_reg: Optional[int] = env_reg
         self.reason_kind = reason_kind
         self.reason_pc = reason_pc
@@ -115,6 +119,11 @@ class DeoptDescr:
         #: the RClosure an inlined frame belongs to (None: the executing
         #: NativeCode's own closure — the root frame)
         self.fun = fun
+        #: [(stack_index, thunk_code)] — stack slots holding the value of an
+        #: elided promise; rematerialization rewraps them as forced promises
+        self.promises: Tuple[Tuple[int, Any], ...] = tuple(promises)
+        #: descr comes from an escape-compiled unit (env_remat accounting)
+        self.escape = escape
 
 
 class KernelGuard:
@@ -366,18 +375,28 @@ class Lowerer:
         parent = None
         if fs.parent is not None:
             parent = self._frame_descr(fs.parent, reason_kind, reason_pc, expected)
+        # Classic env mode sets env_value only; escape (mixed) mode sets
+        # both — the register holds the partial environment, env_slots the
+        # scalar-replaced locals to merge back in at rematerialization.
         env_slots = []
         env_reg = None
         if fs.env_value is not None:
             env_reg = self.reg(fs.env_value)
-        else:
-            for name, v in fs.env_slots:
-                kind = v.type.kind if v.unboxed else None
-                env_slots.append((name, self.reg(v), kind))
+        for name, v in fs.env_slots:
+            kind = v.type.kind if v.unboxed else None
+            env_slots.append((name, self.reg(v), kind))
         stack = [(self.reg(v), v.type.kind if v.unboxed else None) for v in fs.stack]
+        promises = tuple(
+            (i, v.elided_promise)
+            for i, v in enumerate(fs.stack)
+            if getattr(v, "elided_promise", None) is not None
+        )
+        info = getattr(self.graph, "escape_info", None)
+        escape = info is not None and info.usable
         return DeoptDescr(
             fs.code, fs.pc, env_slots, stack, env_reg, reason_kind, reason_pc,
             expected, parent=parent, fun=getattr(fs, "fun", None),
+            promises=promises, escape=escape,
         )
 
     # -- main ---------------------------------------------------------------------------
@@ -916,10 +935,17 @@ class Lowerer:
             self.emit(N.FORCE, self.reg(ins), self.reg(ins.args[0]))
             return
         if t is I.MkClosure:
-            self.emit(N.MKCLOSURE, self.reg(ins), self.reg(ins.args[0]), ins.payload)
+            # env arg absent: harmless capture (escape analysis) — the
+            # executor substitutes the running closure's environment
+            env_reg = self.reg(ins.args[0]) if ins.args else None
+            self.emit(N.MKCLOSURE, self.reg(ins), env_reg, ins.payload)
             return
         if t is I.MkPromise:
-            self.emit(N.MKPROMISE, self.reg(ins), self.reg(ins.args[0]), ins.thunk_code)
+            env_reg = self.reg(ins.args[0]) if ins.args else None
+            self.emit(N.MKPROMISE, self.reg(ins), env_reg, ins.thunk_code)
+            return
+        if t is I.MkEnv:
+            self.emit(N.MKENV, self.reg(ins), ins.names, tuple(self.reg(a) for a in ins.args))
             return
         if t is I.CallBuiltin:
             self.emit(N.CALLB, self.reg(ins), ins.builtin, tuple(self.reg(a) for a in ins.args))

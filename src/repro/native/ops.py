@@ -65,6 +65,9 @@ CALLG = 53
 # inline boundary: bump NAMED on a vector argument (copy-on-write parity
 # with the interpreter's argument binding)
 SHARE = 54
+# escape analysis (mixed env mode): materialize the partial environment
+# holding only the env-demoted locals; (op, dst, names_tuple, regs_tuple)
+MKENV = 55
 
 # superinstructions (threaded dispatch only; never appear in NativeCode.ops,
 # only in the fused stream the closure compiler consumes).  Each covers two

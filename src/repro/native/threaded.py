@@ -36,6 +36,7 @@ from typing import Any, Callable, List, Optional
 from ..bytecode.interpreter import call_function, force as force_value
 from ..osr.framestate import DeoptReason, DeoptReasonKind
 from ..runtime import coerce
+from ..runtime.env import REnvironment
 from ..runtime.rtypes import Kind, RType
 from ..runtime.values import (
     NULL,
@@ -753,6 +754,14 @@ def _f_mkclosure(ins, idx, ops):
     nxt, fold = _follow(ops, idx + 1)
     inc = 1 + fold
 
+    if e is None:
+        # harmless capture (escape analysis): closes over the lexical env
+        def h(f):
+            f.regs[d] = RClosure(formals, code, f.closure_env, fname)
+            f.nexec += inc
+            return nxt
+        return h
+
     def h(f):
         r = f.regs
         r[d] = RClosure(formals, code, r[e], fname)
@@ -766,9 +775,35 @@ def _f_mkpromise(ins, idx, ops):
     nxt, fold = _follow(ops, idx + 1)
     inc = 1 + fold
 
+    if e is None:
+        def h(f):
+            f.regs[d] = RPromise(thunk, f.closure_env)
+            f.nexec += inc
+            return nxt
+        return h
+
     def h(f):
         r = f.regs
         r[d] = RPromise(thunk, r[e])
+        f.nexec += inc
+        return nxt
+    return h
+
+
+def _f_mkenv(ins, idx, ops):
+    d, names, argregs = ins[1], ins[2], ins[3]
+    nxt, fold = _follow(ops, idx + 1)
+    inc = 1 + fold
+
+    def h(f):
+        r = f.regs
+        menv = REnvironment(parent=f.closure_env)
+        for name, a in zip(names, argregs):
+            val = r[a]
+            if isinstance(val, RVector):
+                val.named = 2
+            menv.set(name, val)
+        r[d] = menv
         f.nexec += inc
         return nxt
     return h
@@ -974,7 +1009,7 @@ _FACTORIES = {
     N.CHECKFUN: _f_checkfun,
     N.LDVAR_ENV: _f_ldvar_env, N.LDVAR_FREE: _f_ldvar_free,
     N.STVAR_ENV: _f_stvar_env, N.STSUPER: _f_stsuper, N.LDFUN: _f_ldfun,
-    N.MKCLOSURE: _f_mkclosure, N.MKPROMISE: _f_mkpromise,
+    N.MKCLOSURE: _f_mkclosure, N.MKPROMISE: _f_mkpromise, N.MKENV: _f_mkenv,
     N.CALLB: _f_callb, N.CALLS: _f_calls, N.CALLG: _f_callg,
     N.SHARE: _f_share,
     N.GTYPE_UNBOX: _f_gtype_unbox, N.CMP_BRT: _f_cmp_brt,

@@ -1,0 +1,572 @@
+"""Global environment escape analysis (the "mixed env mode" front end).
+
+Today the builder is all-or-nothing: one ``MK_CLOSURE``/``MK_PROMISE``
+anywhere in a function forces *every* local through a materialized
+``REnvironment`` (env mode), because a capture might observe or mutate any
+binding.  This pass replaces the binary verdict with a per-name partition,
+mirroring how Ř/PIR's scope resolution + escape analysis feed its
+environment elision:
+
+* **scalar** names never reach any live capture: they stay SSA registers
+  exactly as in env-elided code (unboxed loops, no env traffic).
+* **env** names are referenced by at least one live capture (or may be
+  read before they are certainly assigned); they live in a *partial*
+  environment — a fresh ``MkEnv`` holding only those names, parented by
+  the closure environment so the lexical chain stays intact.
+* **harmless** capture sites reference none of our bindings at all; the
+  closure/promise is created with the *caller-visible* parent environment
+  (``env = None`` → ``closure_env``) and our frame is skipped entirely.
+* **elided** promise sites have a statically provable unique, effect-free
+  force: the argument thunk is evaluated eagerly at the creation site and
+  no promise is allocated.  The consuming call's frame states remember the
+  thunk so deoptimization can rematerialize an (already forced) promise.
+* capture sites that are only reachable through a *cold-cut* branch edge
+  do not constrain the partition at all; the cut's ``Assume`` is retagged
+  ``DeoptReasonKind.ENV_CAPTURE`` — it literally is the "environment does
+  not get captured" speculation, and a deopt there re-executes the branch
+  against the environment rematerialized from the frame state.
+
+The analysis is *whole-code* (every pc, not just the reachable-from-entry
+slice) for the same reason the old binary check is: continuations entering
+mid-function must not elide an environment that escaped earlier
+(section 4.2 of the paper).  Mixed mode therefore only applies to
+whole-function units (``entry_pc == 0``, not a continuation); everything
+else keeps classic env mode.
+
+Import layering: this module imports from ``ir.builder`` (feedback
+helpers, cut constants); the builder imports ``analyze_escape`` lazily
+inside ``GraphBuilder.__init__`` to avoid the package cycle through
+``opt/__init__``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..bytecode import opcodes as O
+from ..bytecode.feedback import BranchFeedback, CallFeedback
+from ..ir.builder import (
+    COLD_BRANCH_MIN_COUNT,
+    _site_blocked,
+    loop_exit,
+    usable_call_target,
+)
+from ..runtime.values import RBuiltin, RClosure
+
+
+class EscapeInfo:
+    """Result of :func:`analyze_escape` for one compilation unit.
+
+    ``verdict`` is one of:
+
+    * ``"scalar"`` — no name needs the environment: full elision.
+    * ``"mixed"``  — ``env_names`` live in a partial ``MkEnv``; the rest
+      are registers.
+    * ``"env"``    — analysis declined (continuation entry, non-constant
+      defaults, …); the builder keeps classic env mode.  ``blocked``
+      carries the reason for the inspector.
+    """
+
+    __slots__ = (
+        "verdict",
+        "blocked",
+        "env_names",
+        "demote_reasons",
+        "harmless",
+        "elided",
+        "cold_cuts",
+        "capture_guard_pcs",
+        "guards_emitted",
+        "promises_elided",
+    )
+
+    def __init__(self, verdict: str, blocked: Optional[str] = None):
+        self.verdict = verdict
+        self.blocked = blocked
+        #: names that must live in the partial environment
+        self.env_names: FrozenSet[str] = frozenset()
+        #: name -> human-readable reason it was demoted (inspector panel)
+        self.demote_reasons: Dict[str, str] = {}
+        #: MK pcs whose capture references none of our bindings
+        self.harmless: FrozenSet[int] = frozenset()
+        #: MK_PROMISE pc -> thunk CodeObject for provably elidable promises
+        self.elided: Dict[int, object] = {}
+        #: branch pc -> (live_pc, dead_pc): the cold cuts the builder must
+        #: apply (decided here so analysis and translation cannot diverge)
+        self.cold_cuts: Dict[int, Tuple[int, int]] = {}
+        #: cut branch pcs whose dead edge hides a capture site — their
+        #: Assume is the env-not-captured speculation
+        self.capture_guard_pcs: FrozenSet[int] = frozenset()
+        #: filled during translation (builder) for telemetry
+        self.guards_emitted = 0
+        self.promises_elided = 0
+
+    @property
+    def usable(self) -> bool:
+        return self.verdict in ("scalar", "mixed")
+
+    def blocking_summary(self) -> str:
+        """One line for the verdict log / inspector."""
+        if self.verdict == "env":
+            return self.blocked or ""
+        if not self.env_names:
+            return ""
+        return "; ".join(
+            "%s: %s" % (n, self.demote_reasons.get(n, "?"))
+            for n in sorted(self.env_names)
+        )
+
+
+# ---------------------------------------------------------------------------
+# bytecode-level CFG helpers (pc granularity; these codes are tiny)
+# ---------------------------------------------------------------------------
+
+def _succs(code, pc: int, cuts: Optional[Dict[int, Tuple[int, int]]]) -> List[int]:
+    ins = code.code[pc]
+    op = ins[0]
+    if op == O.RETURN:
+        return []
+    if op == O.BR:
+        return [ins[1]]
+    if op in (O.BRFALSE, O.BRTRUE):
+        if cuts is not None and pc in cuts:
+            return [cuts[pc][0]]
+        return [pc + 1, ins[1]]
+    return [pc + 1]
+
+
+def _reachable(code, start: int, cuts: Optional[Dict[int, Tuple[int, int]]]) -> Set[int]:
+    seen: Set[int] = set()
+    work = [start]
+    n = len(code.code)
+    while work:
+        pc = work.pop()
+        if pc in seen or pc >= n:
+            continue
+        seen.add(pc)
+        work.extend(_succs(code, pc, cuts))
+    return seen
+
+
+def cold_cuts(config, code, feedback) -> Dict[int, Tuple[int, int]]:
+    """Replicate the builder's cold-branch speculation rule exactly.
+
+    Returns branch pc -> (live_pc, dead_pc).  The builder consumes this map
+    verbatim when escape analysis ran, so a capture site the analysis
+    discarded as cut-unreachable can never come back during translation.
+    """
+    cuts: Dict[int, Tuple[int, int]] = {}
+    if not config.enable_cold_branch_speculation:
+        return cuts
+    for pc, ins in enumerate(code.code):
+        if ins[0] not in (O.BRFALSE, O.BRTRUE):
+            continue
+        fb = feedback.get(pc)
+        if not isinstance(fb, BranchFeedback) or _site_blocked(code, pc):
+            continue
+        bias = fb.bias
+        count = fb.taken + fb.not_taken
+        if bias is None or count < COLD_BRANCH_MIN_COUNT or loop_exit(code, pc):
+            continue
+        is_brfalse = ins[0] == O.BRFALSE
+        taken_pc, fall_pc = ins[1], pc + 1
+        live = (taken_pc if not is_brfalse else fall_pc) if bias else (
+            fall_pc if not is_brfalse else taken_pc)
+        dead = fall_pc if live == taken_pc else taken_pc
+        cuts[pc] = (live, dead)
+    return cuts
+
+
+# ---------------------------------------------------------------------------
+# capture reference walk
+# ---------------------------------------------------------------------------
+
+def _walk_capture(code, refs: Set[str], writes: Set[str],
+                  load_shield: FrozenSet[str], super_shield: FrozenSet[str],
+                  same_frame: bool) -> None:
+    """Collect names a capture may resolve in *our* frame.
+
+    ``same_frame`` is True for promise thunks (they execute with our
+    environment): every load hits our frame directly and every ``ST_VAR``
+    *writes* it.  Closure bodies run in child frames: loads are shielded by
+    the formals of every frame between the load and us (formals only —
+    a child-local ``ST_VAR`` must not shield, the load may precede the
+    store), and ``<<-`` starts at the storer's parent, so its shield
+    excludes the storer's own formals.
+    """
+    for ins in code.code:
+        op = ins[0]
+        if op in (O.LD_VAR, O.LD_FUN):
+            n = code.names[ins[1]]
+            if same_frame or n not in load_shield:
+                refs.add(n)
+        elif op == O.ST_VAR:
+            if same_frame:
+                n = code.names[ins[1]]
+                refs.add(n)
+                writes.add(n)
+        elif op == O.ST_VAR_SUPER:
+            # from our own frame, <<- starts at our *parent* and skips us
+            if not same_frame:
+                n = code.names[ins[1]]
+                if n not in super_shield:
+                    refs.add(n)
+                    writes.add(n)
+        elif op == O.MK_CLOSURE:
+            sub_code, sub_formals, _fname = code.consts[ins[1]]
+            fnames = frozenset(f[0] for f in sub_formals)
+            child_load = (fnames if same_frame else load_shield | fnames)
+            child_super = frozenset() if same_frame else load_shield
+            _walk_capture(sub_code, refs, writes, child_load, child_super, False)
+            for _f, default in sub_formals:
+                if default is not None:
+                    _walk_capture(default, refs, writes, child_load, child_super, False)
+        elif op == O.MK_PROMISE:
+            # a promise made here runs in the *same* frame as its maker
+            _walk_capture(code.consts[ins[1]], refs, writes,
+                          load_shield, super_shield, same_frame)
+
+
+def capture_refs(code, mk_pc: int) -> Tuple[Set[str], Set[str]]:
+    """(names read/written in our frame, names written into our frame)."""
+    ins = code.code[mk_pc]
+    refs: Set[str] = set()
+    writes: Set[str] = set()
+    if ins[0] == O.MK_CLOSURE:
+        sub_code, sub_formals, _fname = code.consts[ins[1]]
+        fnames = frozenset(f[0] for f in sub_formals)
+        _walk_capture(sub_code, refs, writes, fnames, frozenset(), False)
+        for _f, default in sub_formals:
+            if default is not None:
+                _walk_capture(default, refs, writes, fnames, frozenset(), False)
+    else:
+        _walk_capture(code.consts[ins[1]], refs, writes,
+                      frozenset(), frozenset(), True)
+    return refs, writes
+
+
+# ---------------------------------------------------------------------------
+# promise elision proof
+# ---------------------------------------------------------------------------
+
+#: straight-line thunk bodies may only use these (note: no stores, no
+#: captures — the thunk must be re-runnable at the MK site without any
+#: observable effect)
+_THUNK_OPS = frozenset({
+    O.PUSH_CONST, O.PUSH_NULL, O.LD_VAR, O.LD_FUN, O.BINOP, O.COMPARE,
+    O.LOGIC, O.UNOP, O.COLON, O.INDEX2, O.INDEX1, O.SEQ_LENGTH,
+    O.CHECK_FUN, O.DUP, O.POP, O.ROT3, O.CALL, O.RETURN,
+})
+
+#: ops that may appear between the MK_PROMISE and its consuming CALL —
+#: pushes of the remaining arguments.  Stores are excluded (the thunk reads
+#: our registers *now*; a store in between would be observed by the real
+#: force but not by the eager evaluation); nested CALLs are checked
+#: separately (pure builtins only).
+_BETWEEN_OPS = frozenset({
+    O.PUSH_CONST, O.PUSH_NULL, O.LD_VAR, O.LD_FUN, O.BINOP, O.COMPARE,
+    O.LOGIC, O.UNOP, O.COLON, O.INDEX2, O.INDEX1, O.SEQ_LENGTH,
+    O.CHECK_FUN, O.MK_PROMISE, O.MK_CLOSURE, O.CALL,
+})
+
+#: a called-from-thunk closure body must avoid anything frame-external;
+#: ST_VAR and branches are fine (callee-frame local)
+_CALLEE_BLACKLIST = frozenset({
+    O.ST_VAR_SUPER, O.MK_CLOSURE, O.MK_PROMISE, O.SET_INDEX1, O.SET_INDEX2,
+})
+
+#: stack effect (pops, pushes) for the ops the consumer scan simulates
+_STACK_FX = {
+    O.PUSH_CONST: (0, 1), O.PUSH_NULL: (0, 1), O.LD_VAR: (0, 1),
+    O.LD_FUN: (0, 1), O.BINOP: (2, 1), O.COMPARE: (2, 1), O.LOGIC: (2, 1),
+    O.UNOP: (1, 1), O.COLON: (2, 1), O.INDEX2: (2, 1), O.INDEX1: (2, 1),
+    O.SEQ_LENGTH: (1, 1), O.MK_PROMISE: (0, 1), O.MK_CLOSURE: (0, 1),
+}
+
+
+def _code_effect_free(code) -> bool:
+    """One-level purity for closures called from a thunk: no escaping
+    stores, no captures, and internal calls only to monomorphic pure
+    builtins (no deeper closure nesting — one level keeps the proof
+    finite)."""
+    for pc, ins in enumerate(code.code):
+        op = ins[0]
+        if op in _CALLEE_BLACKLIST:
+            return False
+        if op == O.CALL:
+            target = usable_call_target(code, pc, code.feedback.get(pc))
+            if not (isinstance(target, RBuiltin) and target.pure):
+                return False
+    return True
+
+
+def _thunk_effect_free(thunk) -> bool:
+    """Is this promise body re-runnable anywhere without observable effect?
+    Straight-line, whitelisted ops, and every call target proven pure
+    (monomorphic pure builtin, or one-level effect-free user closure)."""
+    for pc, ins in enumerate(thunk.code):
+        op = ins[0]
+        if op in (O.BR, O.BRFALSE, O.BRTRUE):
+            return False
+        if op not in _THUNK_OPS:
+            return False
+        if op == O.CALL:
+            target = usable_call_target(thunk, pc, thunk.feedback.get(pc))
+            if target is None:
+                return False
+            if isinstance(target, RBuiltin):
+                if not target.pure:
+                    return False
+            elif isinstance(target, RClosure):
+                if not _code_effect_free(target.code):
+                    return False
+            else:
+                return False
+    return True
+
+
+def _find_consumer(code, mk_pc: int, feedback) -> Optional[Tuple[int, int]]:
+    """Find the CALL that consumes the promise made at ``mk_pc``.
+
+    Simulates stack depth forward from the MK site; bails on anything that
+    is not a plain push-the-remaining-arguments sequence.  Returns
+    (call_pc, arg_index) or None.
+    """
+    depth = 0  # values above our promise
+    pc = mk_pc + 1
+    n = len(code.code)
+    while pc < n:
+        ins = code.code[pc]
+        op = ins[0]
+        if op == O.CALL:
+            nargs = ins[1]
+            if depth >= nargs + 1:
+                # a nested call entirely above our promise: only pure
+                # builtins may run between creation and the eager force
+                target = usable_call_target(code, pc, feedback.get(pc))
+                if not (isinstance(target, RBuiltin) and target.pure):
+                    return None
+                depth -= nargs  # pops nargs+1, pushes result
+                pc += 1
+                continue
+            if depth == nargs:
+                return None  # our promise would be the callee — not an arg
+            return (pc, nargs - 1 - depth)
+        if op not in _BETWEEN_OPS:
+            return None
+        pops, pushes = _STACK_FX[op]
+        if op == O.CHECK_FUN and ins[1] == "callable":
+            pops, pushes = (0, 0)
+        if pops > depth:
+            return None  # dips into/below our promise
+        depth += pushes - pops
+        pc += 1
+    return None
+
+
+def _certain_force(code, call_pc: int, arg_index: int, feedback) -> bool:
+    """Will the consuming call certainly force argument ``arg_index``
+    exactly where a function entry would?  Builtins force all arguments
+    immediately; a closure qualifies when its body opens with a transparent
+    prefix (constant/variable shuffling only) that loads the formal."""
+    ins = code.code[call_pc]
+    if ins[2] >= 0:
+        return False  # named arguments reorder the match
+    target = usable_call_target(code, call_pc, feedback.get(call_pc))
+    if target is None:
+        return False
+    if isinstance(target, RBuiltin):
+        return True
+    if not isinstance(target, RClosure):
+        return False
+    if ins[1] > len(target.formals):
+        return False
+    fname = target.formals[arg_index][0]
+    transparent = (O.PUSH_CONST, O.PUSH_NULL, O.LD_VAR, O.ST_VAR, O.DUP, O.POP)
+    for tins in target.code.code:
+        if tins[0] == O.LD_VAR and target.code.names[tins[1]] == fname:
+            return True
+        if tins[0] not in transparent:
+            return False
+    return False
+
+
+# ---------------------------------------------------------------------------
+# maybe-unassigned demotion
+# ---------------------------------------------------------------------------
+
+def _must_assigned(code, formals: Set[str]) -> Dict[int, Set[str]]:
+    """pc -> names certainly assigned on every path *before* executing pc.
+
+    Full bytecode graph (no cold cuts): the builder's type analysis walks
+    every bc-reachable block, so parity requires the uncut graph here.
+    """
+    n = len(code.code)
+    assigned_in: Dict[int, Set[str]] = {0: set(formals)}
+    work = [0]
+    while work:
+        pc = work.pop()
+        cur = assigned_in[pc]
+        out = cur | {code.names[code.code[pc][1]]} \
+            if code.code[pc][0] == O.ST_VAR else cur
+        for s in _succs(code, pc, None):
+            if s >= n:
+                continue
+            if s not in assigned_in:
+                assigned_in[s] = set(out)
+                work.append(s)
+            else:
+                merged = assigned_in[s] & out
+                if merged != assigned_in[s]:
+                    assigned_in[s] = merged
+                    work.append(s)
+    return assigned_in
+
+
+def _maybe_unassigned(code, assigned_in: Dict[int, Set[str]],
+                      locals_: Set[str]) -> Set[str]:
+    """Local names with a load that is not dominated by an assignment.
+
+    Scalar translation would refuse the unit ("may be read before
+    assignment"); demoting the name to the partial environment preserves
+    the interpreter's dynamic object-not-found error instead.
+    """
+    demote: Set[str] = set()
+    for pc, have in assigned_in.items():
+        op = code.code[pc][0]
+        if op in (O.LD_VAR, O.LD_FUN):
+            name = code.names[code.code[pc][1]]
+            if name in locals_ and name not in have:
+                demote.add(name)
+    return demote
+
+
+def _thunk_load_names(thunk) -> Set[str]:
+    """Names an (elidable, straight-line) thunk loads from our frame."""
+    return {
+        thunk.names[ins[1]]
+        for ins in thunk.code
+        if ins[0] in (O.LD_VAR, O.LD_FUN)
+    }
+
+
+# ---------------------------------------------------------------------------
+# the analysis
+# ---------------------------------------------------------------------------
+
+def analyze_escape(config, code, closure, feedback) -> EscapeInfo:
+    """Partition one function's locals; see the module docstring.
+
+    ``feedback`` is the builder's (possibly deoptless-repaired) feedback
+    map — decisions here must match what translation will see.
+    """
+    formals = {f[0] for f in closure.formals} if closure is not None else set()
+    locals_ = set(formals)
+    for ins in code.code:
+        if ins[0] == O.ST_VAR:
+            locals_.add(code.names[ins[1]])
+
+    cuts = cold_cuts(config, code, feedback)
+    assigned_in = _must_assigned(code, formals)
+    live_pcs = _reachable(code, 0, cuts)
+    mk_pcs = [pc for pc in range(len(code.code))
+              if code.code[pc][0] in (O.MK_CLOSURE, O.MK_PROMISE)]
+    live_mks = [pc for pc in mk_pcs if pc in live_pcs]
+
+    # cut branches whose dead edge leads to a cut-away capture: these are
+    # the env-not-captured speculations (over-tagging a branch that also
+    # hides non-capture code is fine — the reason kind is diagnostic)
+    guard_pcs: Set[int] = set()
+    cut_mks = set(mk_pcs) - set(live_mks)
+    if cut_mks:
+        for bpc, (_live, dead) in cuts.items():
+            if cut_mks & _reachable(code, dead, None):
+                guard_pcs.add(bpc)
+
+    # classify each live capture site
+    site_refs: Dict[int, Set[str]] = {}
+    site_writes: Dict[int, Set[str]] = {}
+    all_writes: Set[str] = set()
+    for pc in live_mks:
+        refs, writes = capture_refs(code, pc)
+        site_refs[pc] = refs
+        site_writes[pc] = writes
+        all_writes |= writes
+    # names a same-frame thunk may *create* in our frame behave like
+    # locals: a later free-variable load must be able to see them
+    eff_locals = locals_ | all_writes
+
+    harmless: Set[int] = set()
+    elided: Dict[int, object] = {}
+    env_names: Set[str] = set()
+    reasons: Dict[str, str] = {}
+
+    for pc in live_mks:
+        touched = (site_refs[pc] & eff_locals) | site_writes[pc]
+        if not touched:
+            harmless.add(pc)
+            continue
+        if code.code[pc][0] == O.MK_PROMISE and not _site_blocked(code, pc):
+            thunk = code.consts[code.code[pc][1]]
+            # eager evaluation reads our scalar registers at the MK site:
+            # every local the thunk loads must be certainly assigned there
+            # (an unassigned local would silently resolve as a free lookup
+            # instead of raising the interpreter's object-not-found error)
+            loads_ok = (
+                _thunk_load_names(thunk) & locals_
+            ) <= assigned_in.get(pc, set())
+            if loads_ok and _thunk_effect_free(thunk):
+                consumer = _find_consumer(code, pc, feedback)
+                if consumer is not None:
+                    q, j = consumer
+                    # every sibling promise of the same call must be
+                    # effect-free too, or eager evaluation reorders
+                    # observable work
+                    siblings_ok = all(
+                        _thunk_effect_free(code.consts[code.code[p2][1]])
+                        for p2 in live_mks
+                        if p2 != pc and code.code[p2][0] == O.MK_PROMISE
+                        and _find_consumer(code, p2, feedback) is not None
+                        and _find_consumer(code, p2, feedback)[0] == q
+                    )
+                    if siblings_ok and _certain_force(code, q, j, feedback):
+                        elided[pc] = thunk
+                        continue
+        for n in sorted(touched):
+            if n not in env_names:
+                env_names.add(n)
+                kind = "closure" if code.code[pc][0] == O.MK_CLOSURE else "promise"
+                reasons[n] = "captured by %s at pc %d" % (kind, pc)
+
+    for n in sorted(_maybe_unassigned(code, assigned_in, locals_)):
+        if n not in env_names:
+            env_names.add(n)
+            reasons[n] = "may be read before assignment"
+
+    info = EscapeInfo("scalar" if not env_names else "mixed")
+    info.env_names = frozenset(env_names)
+    info.demote_reasons = reasons
+    info.harmless = frozenset(harmless)
+    info.elided = elided
+    info.cold_cuts = cuts
+    info.capture_guard_pcs = frozenset(guard_pcs)
+    return info
+
+
+# ---------------------------------------------------------------------------
+# pipeline hook: verdict accounting
+# ---------------------------------------------------------------------------
+
+def note_escape(graph, state) -> None:
+    """Record the unit's escape verdict in telemetry (outside the dispatch
+    signature, like the ctx_*/vec_* families)."""
+    info = graph.escape_info
+    if info is None or state is None:
+        return
+    if info.usable:
+        state.env_elided += 1
+        state.promise_elided += info.promises_elided
+        state.escape_guards += info.guards_emitted
+    from ..jit.telemetry import dedup_log
+    dedup_log(state.escape_log,
+              (graph.name, info.verdict, info.blocking_summary()))

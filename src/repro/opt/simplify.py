@@ -45,10 +45,22 @@ def _simplify_phis(graph: Graph) -> int:
     return n
 
 
+def _skip_casts(v: I.Instr) -> I.Instr:
+    """Look through CastType refinements (pure register copies).
+
+    Scalar replacement's eager thunk evaluation pins results behind a
+    CastType (the elided-promise marker), so the chains it leaves look like
+    ``Force(CastType(Box(x)))`` — the folds below must see through them.
+    """
+    while isinstance(v, I.CastType):
+        v = v.args[0]
+    return v
+
+
 def _peephole(graph: Graph) -> int:
     """Unbox(Box(x)) -> x, Box(Unbox(x)) -> x, constant-fold prim ops,
     Unbox(Const) -> unboxed const, and fold IsType on statically-typed
-    values."""
+    values.  All the pair folds look through CastType chains."""
     n = 0
     for bb in graph.rpo():
         for ins in list(bb.instrs):
@@ -60,30 +72,46 @@ def _peephole(graph: Graph) -> int:
             # lets the Box/IsType/Unbox chain below collapse across it.
             if isinstance(ins, I.Force):
                 v = ins.args[0]
+                w = _skip_casts(v)
                 if (
-                    isinstance(v, I.Box)
-                    or v.unboxed
-                    or (isinstance(v, I.Const) and not isinstance(v.value, RPromise))
+                    isinstance(w, I.Box)
+                    or w.unboxed
+                    or (isinstance(w, I.Const) and not isinstance(w.value, RPromise))
                 ):
                     graph.replace_all_uses(ins, v)
                     bb.remove(ins)
                     n += 1
                     continue
+            # no-op CastType (no refinement, no elided-promise marker to
+            # keep alive for deopt rematerialization)
+            if (
+                isinstance(ins, I.CastType)
+                and ins.type == ins.args[0].type
+                and getattr(ins, "elided_promise", None) is None
+            ):
+                graph.replace_all_uses(ins, ins.args[0])
+                bb.remove(ins)
+                n += 1
+                continue
             # Unbox(Box(x)) and Box(Unbox(x))
-            if isinstance(ins, I.Unbox) and isinstance(ins.args[0], I.Box):
-                inner = ins.args[0].args[0]
-                if inner.unboxed and inner.type.kind == ins.kind:
-                    graph.replace_all_uses(ins, inner)
-                    bb.remove(ins)
-                    n += 1
-                    continue
-            if isinstance(ins, I.Box) and isinstance(ins.args[0], I.Unbox):
-                inner = ins.args[0].args[0]
-                if not inner.unboxed and inner.type.kind == ins.kind and inner.type.scalar:
-                    graph.replace_all_uses(ins, inner)
-                    bb.remove(ins)
-                    n += 1
-                    continue
+            if isinstance(ins, I.Unbox):
+                box = _skip_casts(ins.args[0])
+                if isinstance(box, I.Box):
+                    inner = box.args[0]
+                    if inner.unboxed and inner.type.kind == ins.kind:
+                        graph.replace_all_uses(ins, inner)
+                        bb.remove(ins)
+                        n += 1
+                        continue
+            if isinstance(ins, I.Box):
+                unbox = _skip_casts(ins.args[0])
+                if isinstance(unbox, I.Unbox):
+                    inner = unbox.args[0]
+                    if not inner.unboxed and inner.type.kind == ins.kind and inner.type.scalar:
+                        graph.replace_all_uses(ins, inner)
+                        bb.remove(ins)
+                        n += 1
+                        continue
             # Unbox(Const vector) -> unboxed Const
             if isinstance(ins, I.Unbox) and isinstance(ins.args[0], I.Const):
                 cv = ins.args[0].value

@@ -135,7 +135,8 @@ class LoopPlan:
 
 
 #: cap on the per-VM (fn, pc, reason) decline log — counts are unbounded,
-#: the log is a deduped diagnostic sample of distinct sites
+#: the log is a deduped diagnostic sample of distinct sites (the bounded
+#: dedupe itself lives in jit.telemetry.dedup_log, shared with escape.py)
 _DECLINE_LOG_CAP = 200
 
 
@@ -164,6 +165,8 @@ def vectorize_loops(graph: Graph, config=None, state=None) -> List[LoopPlan]:
 
 
 def _record_telemetry(graph: Graph, plans, declines, state) -> None:
+    # lazy: opt modules load during jit's own package init (vm -> pipeline)
+    from ..jit.telemetry import dedup_log
     # a "nested-control" decline whose collected blocks contain a planned
     # inner header is the *outer scalar driver* of a recognized nest — the
     # inner loop kernelizes, so retag the decline to make that auditable
@@ -182,14 +185,7 @@ def _record_telemetry(graph: Graph, plans, declines, state) -> None:
             state.vec_decline_reasons.get(reason, 0) + 1
         )
         # dedupe: one log entry per (fn, pc, reason) with an occurrence count
-        key = (graph.name, pc, reason)
-        for j, entry in enumerate(state.vec_decline_log):
-            if entry[:3] == key:
-                state.vec_decline_log[j] = key + (entry[3] + 1,)
-                break
-        else:
-            if len(state.vec_decline_log) < _DECLINE_LOG_CAP:
-                state.vec_decline_log.append(key + (1,))
+        dedup_log(state.vec_decline_log, (graph.name, pc, reason))
     for p in plans:
         entry = (graph.name, p.pc, p.kind, p.addressing,
                  outer_pcs.get(p.header.id))

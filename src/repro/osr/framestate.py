@@ -47,6 +47,11 @@ class DeoptReasonKind(enum.Enum):
     GLOBAL_INVALIDATED = "global"
     #: the local environment leaked and was modified non-locally — catastrophic
     ENV_LEAKED = "env_leaked"
+    #: escape mode speculated a cold branch never creates a capture of the
+    #: scalar-replaced environment; the branch was taken after all.  NOT
+    #: catastrophic: the interpreter re-executes the branch against the
+    #: rematerialized environment and the capture closes over that
+    ENV_CAPTURE = "env_capture"
     #: anything else
     OTHER = "other"
 
@@ -303,7 +308,8 @@ class FrameState:
     is the lexical parent needed to re-materialize an elided environment.
     """
 
-    __slots__ = ("code", "pc", "env_values", "env", "closure_env", "stack", "parent", "fun")
+    __slots__ = ("code", "pc", "env_values", "env", "closure_env", "stack",
+                 "parent", "fun", "from_escape")
 
     def __init__(
         self,
@@ -325,6 +331,9 @@ class FrameState:
         self.parent = parent
         #: the RClosure this frame belongs to (for the deoptless dispatch table)
         self.fun = fun
+        #: built from an escape-mode (mixed env) frame: ``env`` is the
+        #: partial MkEnv environment and ``env_values`` the scalar slots
+        self.from_escape = False
 
     def materialize_env(self):
         """Rebuild a real environment (paper: MkEnv deferred into the deopt
@@ -332,6 +341,14 @@ class FrameState:
         from ..runtime.env import REnvironment
 
         if self.env is not None:
+            if self.env_values:
+                # escape mode: the partial env holds only the demoted
+                # slots; write the scalar-replaced values back so the
+                # interpreter resumes against the complete frame.
+                # Idempotent — repeated writes store the same values.
+                for name, value in self.env_values.items():
+                    self.env.set(name, value)
+                self.env.materialized_from_deopt = True
             return self.env
         env = REnvironment(parent=self.closure_env)
         if self.env_values:

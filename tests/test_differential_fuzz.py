@@ -341,6 +341,95 @@ def test_gather_subscripts_agree_across_tiers_and_engines(src, xs, raw_idx, oob)
     assert all(s == sigs[0] for s in sigs), src
 
 
+@st.composite
+def envcapture_program(draw):
+    """A hot loop mutating captured state — escape-analysis fodder.
+
+    The driver's frame is partially captured: ``acc`` escapes into the
+    ``step`` closure and is mutated through ``<<-``, while the induction
+    state stays scalar.  The ``lazy`` variant routes the argument through a
+    global helper call, so the compiler emits a promise whose elision the
+    escape pass must prove (or decline) without changing results.
+    """
+    op1 = draw(st.sampled_from(["+", "-", "*"]))
+    op2 = draw(st.sampled_from(["+", "-"]))
+    k = draw(st.integers(1, 4))
+    acc_init = draw(st.sampled_from(["0", "0L", "1.5"]))
+    lazy = draw(st.booleans())
+    arg = "ec_help(i %s %dL)" % (op2, k) if lazy else "i %s %dL" % (op2, k)
+    return """
+ec_help <- function(x) x %s 2L
+ecap <- function(m, n) {
+  acc <- %s
+  step <- function(k) acc <<- acc %s k
+  i <- 0L
+  while (i < n) {
+    step(%s)
+    i <- i + 1L
+  }
+  acc + m
+}
+""" % (op1, acc_init, op1, arg)
+
+
+@given(envcapture_program(), st.integers(1, 12))
+@settings(max_examples=20, deadline=None)
+def test_envcapture_agrees_across_tiers_and_engines(src, n):
+    """Mixed env mode (scalar-replaced frames, partial MkEnv, elided
+    promises) matches the interpreter exactly on every executor, with one
+    dispatch signature across the reference, threaded, and codegen engines."""
+    call = "ecap(2L, %dL)" % n
+    vm_ref = make_vm(enable_jit=False)
+    vm_ref.eval(src)
+    expected = [from_r(vm_ref.eval(call)) for _ in range(4)]
+    sigs = []
+    for eng in ENGINE_LEGS:
+        vm = make_vm(compile_threshold=1, osr_threshold=50,
+                     escape=True, **eng)
+        vm.eval(src)
+        got = [from_r(vm.eval(call)) for _ in range(4)]
+        assert got == expected, (src, got, expected)
+        sigs.append(vm.state.dispatch_signature())
+    assert all(s == sigs[0] for s in sigs), src
+
+
+@given(envcapture_program(), st.integers(1, 12))
+@settings(max_examples=15, deadline=None)
+def test_escape_legs_agree_on_results(src, n):
+    """escape=1 vs escape=0 execute different op streams by design (like
+    the inline legs), but results must be identical call for call."""
+    call = "ecap(2L, %dL)" % n
+    per_leg = {}
+    for escape in (True, False):
+        vm = make_vm(compile_threshold=1, osr_threshold=50, escape=escape)
+        vm.eval(src)
+        per_leg[escape] = [from_r(vm.eval(call)) for _ in range(4)]
+    assert per_leg[True] == per_leg[False], src
+
+
+@given(envcapture_program(), st.integers(2, 10), st.integers(0, 2**31))
+@settings(max_examples=12, deadline=None)
+def test_chaos_deopts_inside_elided_env_regions(src, n, seed):
+    """Chaos-mode assumption failures inside mixed frames (partial MkEnv +
+    scalar registers, possibly with an elided promise live on the stack)
+    rematerialize interpreter-identical state on every executor, and the
+    three engines leave identical dispatch signatures."""
+    call = "ecap(2L, %dL)" % n
+    vm_ref = make_vm(enable_jit=False)
+    vm_ref.eval(src)
+    expected = from_r(vm_ref.eval(call))
+    sigs = []
+    for eng in ENGINE_LEGS:
+        vm = make_vm(chaos_rate=0.05, chaos_seed=seed, compile_threshold=1,
+                     osr_threshold=50, enable_deoptless=True,
+                     escape=True, **eng)
+        vm.eval(src)
+        for _ in range(5):
+            assert from_r(vm.eval(call)) == expected, (src, seed)
+        sigs.append(vm.state.dispatch_signature())
+    assert all(s == sigs[0] for s in sigs), src
+
+
 @given(inline_program(), st.integers(2, 10), st.integers(0, 2**31))
 @settings(max_examples=12, deadline=None)
 def test_chaos_deopts_inside_inlined_bodies(src, n, seed):

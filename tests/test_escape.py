@@ -1,0 +1,186 @@
+"""Environment rematerialization under escape analysis (mixed env mode).
+
+The escape pass (``opt/escape.py``) compiles capture-bearing functions with
+a *partial* environment: only captured names live in the ``MkEnv``, the
+rest of the frame stays in SSA registers, and provably forced-once lazy
+arguments skip promise allocation entirely.  Everything here checks the
+deopt side of that bargain — a guard failure inside such code must hand the
+interpreter a frame that is slot-for-slot indistinguishable from the frame
+a never-optimized run would have built: scalar registers written back into
+the partial environment, elided promises rewrapped as (already forced)
+promises, and the ``env_remat`` counter charged.
+"""
+
+from conftest import make_vm
+from repro import from_r
+from repro.native.executor import build_framestate
+from repro.native.lower import DeoptDescr
+from repro.osr.framestate import DeoptReasonKind
+from repro.runtime.rtypes import Kind
+from repro.runtime.values import RClosure, RPromise, RVector
+
+
+#: the closure is created *and called* inside the hot loop; its identity is
+#: per-activation, so the first compiled activation is guaranteed to fail
+#: the call-target guard mid-loop — a deterministic deopt inside the mixed
+#: region, with loop state live in registers
+MKC_SRC = """
+mkc <- function(x, n) {
+  total <- 0
+  bump <- function(k) total <<- total + k
+  i <- 0
+  while (i < n) {
+    bump(x * 2L)
+    i <- i + 1
+  }
+  bump
+}
+"""
+
+
+def _env_snapshot(env):
+    """Name -> comparable value for every binding of one environment."""
+    out = {}
+    for name, v in env.bindings.items():
+        if isinstance(v, RVector):
+            out[name] = from_r(v)
+        else:
+            out[name] = type(v).__name__
+    return out
+
+
+def test_mixed_env_slot_identity_after_deopt():
+    """A deopt inside a mixed frame merges the scalar registers back into
+    the partial environment: the escaping closure afterwards sees exactly
+    the bindings a never-optimized run would have left."""
+    vm = make_vm(compile_threshold=1, osr_threshold=10 ** 6, escape=True)
+    vm.eval(MKC_SRC)
+    vm.eval("mkc(1L, 60)")  # profile + compile
+    clo = vm.eval("mkc(1L, 60)")  # compiled; deopts on bump's identity
+    assert vm.state.deopts >= 1
+    assert vm.state.env_remat >= 1, "the deopt did not come from a mixed frame"
+
+    interp = make_vm(enable_jit=False)
+    interp.eval(MKC_SRC)
+    interp.eval("mkc(1L, 60)")
+    ref = interp.eval("mkc(1L, 60)")
+
+    got = _env_snapshot(clo.env)
+    want = _env_snapshot(ref.env)
+    assert got == want, "rematerialized frame diverges: %r != %r" % (got, want)
+    assert clo.env.materialized_from_deopt
+    # and the rematerialized frame stays live: the closure keeps mutating it
+    assert from_r(vm.eval("f <- mkc(1L, 60)\nf(5L)\nf(0L)")) == \
+        from_r(interp.eval("f <- mkc(1L, 60)\nf(5L)\nf(0L)"))
+
+
+def test_partial_env_without_deopt():
+    """No deopt: the escaping closure carries only the captured name — the
+    loop state never reaches an environment at all."""
+    src = """
+mk <- function(x, n) {
+  i <- 0
+  while (i < n) i <- i + 1
+  function() x + i * 0
+}
+"""
+    vm = make_vm(compile_threshold=1, osr_threshold=10 ** 6, escape=True)
+    vm.eval(src)
+    vm.eval("mk(7L, 30)")
+    before = vm.state.deopts
+    clo = vm.eval("mk(7L, 30)")  # compiled activation
+    assert vm.state.deopts == before, "unexpected deopt in the control run"
+    assert isinstance(clo, RClosure)
+    # both x and i are captured (the inner body reads them) but nothing else
+    # of the frame — in particular not n, the scalar loop bound
+    assert set(clo.env.bindings) == {"x", "i"}
+    assert not clo.env.materialized_from_deopt
+    assert from_r(vm.eval("mk(7L, 30)()")) == 7.0
+
+
+def test_harmless_capture_skips_frame_entirely():
+    """A closure referencing none of our bindings is created against the
+    caller-visible parent environment: the frame is fully scalar and the
+    closure's lexical chain skips it."""
+    src = """
+mkh <- function(n) {
+  i <- 0
+  while (i < n) i <- i + 1
+  function(z) z + 1
+}
+"""
+    vm = make_vm(compile_threshold=1, osr_threshold=10 ** 6, escape=True)
+    vm.eval(src)
+    vm.eval("mkh(30)")
+    clo = vm.eval("mkh(30)")  # compiled activation
+    assert isinstance(clo, RClosure)
+    assert clo.env is vm.global_env, "harmless capture still materialized a frame"
+    assert from_r(vm.eval("mkh(30)(41L)")) == 42
+
+
+def test_deopt_descr_rewraps_elided_promise():
+    """The remat protocol itself: a DeoptDescr promise entry turns the raw
+    stack slot back into a forced promise carrying the original thunk, and
+    the escape flag + slot map reach the FrameState."""
+    vm = make_vm(enable_jit=False)
+    vm.eval("th <- function(i) i + 1")
+    clo = vm.global_env.get("th")
+    thunk = clo.code
+
+    class _NC:  # the executor only reads .closure off the NativeCode
+        closure = clo
+
+    regs = [5.0, 7]
+    descr = DeoptDescr(
+        clo.code, 0,
+        env_slots=[("i", 1, Kind.INT)],
+        stack=[(0, Kind.DBL)],
+        env_reg=None,
+        reason_kind=DeoptReasonKind.TYPECHECK,
+        reason_pc=0,
+        expected=None,
+        promises=((0, thunk),),
+        escape=True,
+    )
+    fs = build_framestate(_NC(), regs, descr, vm.global_env)
+    assert fs.from_escape
+    p = fs.stack[0]
+    assert isinstance(p, RPromise) and p.forced
+    assert p.code is thunk, "the rewrapped promise lost its thunk"
+    assert from_r(p.value) == 5.0
+    env = fs.materialize_env()
+    assert env.materialized_from_deopt
+    assert from_r(env.bindings["i"]) == 7
+    assert vm.state is not None  # the unit test must not touch vm counters
+
+
+def test_chaos_remat_env_identity():
+    """Chaos-mode deopts at arbitrary guards inside mixed frames still
+    rebuild interpreter-identical environments (several seeds; at least one
+    must exercise the remat path)."""
+    interp = make_vm(enable_jit=False)
+    interp.eval(MKC_SRC)
+    want = _env_snapshot(interp.eval("mkc(3L, 40)").env)
+
+    hit = False
+    for seed in range(6):
+        vm = make_vm(chaos_rate=0.1, chaos_seed=seed, compile_threshold=1,
+                     osr_threshold=50, escape=True)
+        vm.eval(MKC_SRC)
+        vm.eval("mkc(3L, 40)")
+        clo = vm.eval("mkc(3L, 40)")
+        if vm.state.env_remat:
+            hit = True
+            got = _env_snapshot(clo.env)
+            assert got == want, "seed %d: %r != %r" % (seed, got, want)
+    assert hit, "no chaos seed exercised escape rematerialization"
+
+
+def test_env_remat_counter_only_counts_mixed_frames():
+    """Classic env-mode deopts must not be charged to ``env_remat``."""
+    vm = make_vm(compile_threshold=1, osr_threshold=10 ** 6, escape=False)
+    vm.eval(MKC_SRC)
+    vm.eval("mkc(1L, 60)")
+    vm.eval("mkc(1L, 60)")  # compiled; same call-target deopt as above
+    assert vm.state.deopts >= 1
+    assert vm.state.env_remat == 0
