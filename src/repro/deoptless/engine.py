@@ -172,6 +172,16 @@ def call_continuation(vm, ncode: NativeCode, fs: FrameState) -> Any:
     (here: the argument list); env-mode continuations receive the live or
     re-materialized environment object.
     """
+    # Register hotness with the owning closure's jit state: every dispatch
+    # into a continuation (cached or fresh) counts toward tier-up.  Keyed on
+    # the context the continuation was *compiled* for, so repeat recoveries
+    # that dispatch to the same entry accumulate on one counter.
+    ctx = getattr(ncode, "deoptless_ctx", None)
+    if ctx is not None and fs.fun is not None and fs.fun.jit is not None:
+        hits = fs.fun.jit.cont_hits
+        if hits is None:
+            hits = fs.fun.jit.cont_hits = {}
+        hits[ctx] = hits.get(ctx, 0) + 1
     if ncode.env_elided:
         if fs.env_values is not None and fs.env is not None:
             # mixed (escape) frame: locals are split between scalar slots

@@ -55,7 +55,7 @@ class ClosureJitState:
     __slots__ = (
         "call_count", "version", "deoptless_table", "deopt_count",
         "cant_compile", "default_consts", "versions", "seen_contexts",
-        "ctx_fail_counts",
+        "ctx_fail_counts", "cont_hits",
     )
 
     def __init__(self, config: Config):
@@ -79,6 +79,9 @@ class ClosureJitState:
         #: CallContext -> deopt count inside that version; a context that
         #: keeps mis-speculating stops being recompiled
         self.ctx_fail_counts: Optional[dict] = None
+        #: DeoptContext -> dispatch count for installed deoptless
+        #: continuations; the hotness seed for continuation tier-up
+        self.cont_hits: Optional[dict] = None
 
 
 class RVM:
