@@ -41,6 +41,12 @@ def _time_ctx(name, ctxdispatch, threaded, n, warmup=3, iters=7):
     cfg = Config(compile_threshold=1, osr_threshold=50)
     cfg.ctxdispatch = ctxdispatch
     cfg.threaded_dispatch = threaded
+    # dispatched OSR registers the hot loop's live context as entry-dispatch
+    # evidence, which settles these workloads into a different (deopt-free,
+    # single-version) equilibrium — pin it off so this bench keeps measuring
+    # the multi-version-vs-deopt-and-widen dynamics it asserts on (the same
+    # isolation the hop bench applies in reverse by pinning ctxdispatch=False)
+    cfg.osr_hop = False
     vm = RVM(cfg)
     vm.eval(w.source)
     vm.eval(w.setup_code(n))

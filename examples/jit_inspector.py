@@ -88,6 +88,7 @@ def main() -> None:
     inspect_vectorizer_declines()
     inspect_vectorizer_plans()
     inspect_escape_verdicts()
+    inspect_osr_hops()
 
 
 #: ``inc`` reads the free variable ``k`` from its lexical environment, so
@@ -444,6 +445,82 @@ def inspect_escape_verdicts() -> None:
     print("  verdict log (fn, verdict, demoted names / blocking reason, times):")
     for fn, verdict, detail, count in vm.state.escape_log:
         print("    %-8s %-7s %-44s x%d" % (fn, verdict, detail or "-", count))
+
+
+#: the fig6-style phase flip: the loop body calls a global helper closure,
+#: so its speculatively-inlined identity guard executes every iteration and
+#: chaos mode can fail an assumption *inside* a deoptless continuation —
+#: continuations may not recurse, so that is exactly where the hop
+#: machinery takes over and re-enters a surviving compiled version at the
+#: loop header instead of interpreting the rest of the activation
+HOP_SRC = """
+hop_step <- function(v, k) v + k
+hop_flip <- function(a, b, n) {
+  s <- 0
+  x <- a
+  h <- n %/% 2L
+  i <- 1L
+  while (i <= n) {
+    if (i == h) x <- b
+    s <- s + hop_step(x[[i]], 1L)
+    i <- i + 1L
+  }
+  s
+}
+"""
+
+
+def inspect_osr_hops() -> None:
+    """Dispatched OSR: the per-pc entry maps a compiled version exposes,
+    the version hops taken through them, and continuation tier-up."""
+    vm = RVM(Config(compile_threshold=1, enable_deoptless=True,
+                    ctxdispatch=False, osr_hop=True,
+                    chaos_rate=2e-3, chaos_seed=42))
+    vm.eval(HOP_SRC)
+    vm.eval("hn <- 2000L")
+    vm.eval("hai <- integer(hn)")
+    vm.eval("for (i in 1:hn) hai[[i]] <- i")
+    vm.eval("hbr <- numeric(hn)")
+    vm.eval("for (i in 1:hn) hbr[[i]] <- i * 1.0")
+    for _ in range(3):
+        vm.eval("hop_flip(hai, hai, hn)")  # monomorphic int warmup
+    for _ in range(8):
+        vm.eval("hop_flip(hai, hbr, hn)")  # flips int -> double mid-loop
+
+    print()
+    print("=" * 70)
+    print("16. DISPATCHED OSR (version hops & continuation tier-up)")
+    print("=" * 70)
+    clo = vm.global_env.get("hop_flip")
+    print("  OSR entry map of the generic version (pc -> seedable slots):")
+    for pc, entry in sorted(clo.jit.version.osr_entries.items()):
+        slots = ", ".join(
+            "%s:r%d%s" % (name, reg, ":" + kind.name if kind else "")
+            for name, reg, kind, _rtype in entry.var_slots)
+        print("    pc %3d -> op %3d  [%s]" % (pc, entry.index, slots))
+    print("  osr_hops=%d cont_tierups=%d declines=%d"
+          % (vm.state.osr_hops, vm.state.cont_tierups,
+             vm.state.osr_hop_declines))
+    print("  hop trajectories (per closure; via deopt = mid-loop exit hop,"
+          " via osr_in = hot-interpreter re-entry):")
+    traj = {}
+    for e in vm.state.events_of("osr_hop"):
+        traj.setdefault(e.fn_name, []).append(
+            "pc%d:%s->%s" % (e.details["pc"], e.details["via"],
+                             e.details["target"]))
+    for fn, hops in sorted(traj.items()):
+        shown = "  ".join(hops[:5])
+        if len(hops) > 5:
+            shown += "  ... (%d hops total)" % len(hops)
+        print("    %-10s %s" % (fn, shown))
+    for e in vm.state.events_of("cont_tierup"):
+        print("  tier-up: %-10s promoted to an entry version "
+              "(size=%d, specificity=%d)"
+              % (e.fn_name, e.details["size"], e.details["specificity"]))
+    if vm.state.osr_hop_decline_log:
+        print("  decline log (fn, bytecode pc, reason, times seen):")
+        for fn, pc, reason, count in vm.state.osr_hop_decline_log:
+            print("    %-12s pc %3d  %-24s x%d" % (fn, pc, reason, count))
 
 
 if __name__ == "__main__":

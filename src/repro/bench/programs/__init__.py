@@ -1,7 +1,7 @@
 """mini-R benchmark programs; importing this package populates the workload
 registry (``repro.bench.workload.REGISTRY``)."""
 
-from . import calls, envcapture, paper_examples, polycalls, reopt, suite, volcano  # noqa: F401
+from . import calls, envcapture, paper_examples, phaseflip, polycalls, reopt, suite, volcano  # noqa: F401
 
 from ..workload import REGISTRY
 

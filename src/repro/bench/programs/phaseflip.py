@@ -1,0 +1,128 @@
+"""Phase-change microbenchmarks — loops that flip a variable's type mid-run.
+
+These are the dispatched-OSR workloads (``osr/osr_hop.py``), modeled on the
+paper's Figure 6 mis-speculation study: a hot loop is warmed up
+monomorphically (integer vectors), then the measured calls swap in a double
+vector *mid-iteration* (``if (i == h) x <- b``), so the type assumption is
+refuted in the middle of compiled code, never at the call boundary.  Each
+body routes the element through a small global helper closure — the
+speculative inline keeps per-iteration guards alive (they cannot be hoisted
+past the flip), which is what gives chaos mode (section 5.1) guard sites to
+fire on *inside* deoptless continuations.  A continuation-interior
+mis-speculation is precisely the case the terminal-continuation baseline
+handles worst (drop the continuation, interpret the rest of the loop) and
+dispatched OSR handles best (hop back into the surviving version at the
+header).
+
+* ``phaseflip_sum`` — running sum over the flipping vector.
+* ``phaseflip_dot`` — dot-product against a stable integer vector; the
+  flip changes only one side of the multiply.
+* ``phaseflip_twice`` — two flips (int -> double -> int): the *continuation*
+  compiled after the first flip is itself mis-specialized for the tail.
+
+The helper closures live at global scope deliberately (stable identity =>
+monomorphic call feedback => the builder inlines them with an identity
+guard per iteration).
+"""
+
+from __future__ import annotations
+
+from ..workload import REGISTRY, Workload
+
+REGISTRY.add(Workload(
+    name="phaseflip_sum",
+    source="""
+pf_step <- function(v, k) v + k
+pf_sum <- function(a, b, n) {
+  s <- 0
+  x <- a
+  h <- n %/% 2L
+  i <- 1L
+  while (i <= n) {
+    if (i == h) x <- b
+    s <- s + pf_step(x[[i]], 1L)
+    i <- i + 1L
+  }
+  s
+}
+""",
+    setup="""
+pf_n <- {n}L
+pf_ai <- integer(pf_n)
+for (i in 1:pf_n) pf_ai[[i]] <- i
+pf_br <- numeric(pf_n)
+for (i in 1:pf_n) pf_br[[i]] <- i * 1.0
+for (w in 1:3) pf_sum(pf_ai, pf_ai, pf_n)
+""",
+    call="pf_sum(pf_ai, pf_br, pf_n)",
+    n=20000,
+    n_test=2000,
+    notes="int warmup, double flip at n/2; inlined helper keeps loop guards",
+))
+
+REGISTRY.add(Workload(
+    name="phaseflip_dot",
+    source="""
+pf_mul <- function(u, v) u * v
+pf_dot <- function(a, b, w, n) {
+  s <- 0
+  x <- a
+  h <- n %/% 2L
+  i <- 1L
+  while (i <= n) {
+    if (i == h) x <- b
+    s <- s + pf_mul(x[[i]], w[[i]])
+    i <- i + 1L
+  }
+  s
+}
+""",
+    setup="""
+pf_n <- {n}L
+pf_ai <- integer(pf_n)
+for (i in 1:pf_n) pf_ai[[i]] <- i
+pf_br <- numeric(pf_n)
+for (i in 1:pf_n) pf_br[[i]] <- i * 0.5
+pf_wi <- integer(pf_n)
+for (i in 1:pf_n) pf_wi[[i]] <- 2L
+for (w in 1:3) pf_dot(pf_ai, pf_ai, pf_wi, pf_n)
+""",
+    call="pf_dot(pf_ai, pf_br, pf_wi, pf_n)",
+    n=20000,
+    n_test=2000,
+    notes="dot-product; one side flips int->double at n/2",
+))
+
+REGISTRY.add(Workload(
+    name="phaseflip_twice",
+    source="""
+pf_inc <- function(v, k) v + k
+pf_twice <- function(a, b, n) {
+  s <- 0
+  x <- a
+  h1 <- n %/% 3L
+  h2 <- h1 + h1
+  i <- 1L
+  while (i <= n) {
+    if (i == h1) x <- b
+    if (i == h2) x <- a
+    s <- s + pf_inc(x[[i]], 1L)
+    i <- i + 1L
+  }
+  s
+}
+""",
+    setup="""
+pf_n <- {n}L
+pf_ai <- integer(pf_n)
+for (i in 1:pf_n) pf_ai[[i]] <- i
+pf_br <- numeric(pf_n)
+for (i in 1:pf_n) pf_br[[i]] <- i * 1.0
+for (w in 1:3) pf_twice(pf_ai, pf_ai, pf_n)
+""",
+    call="pf_twice(pf_ai, pf_br, pf_n)",
+    n=20000,
+    n_test=2000,
+    notes="double flip int->double->int; the first continuation is itself "
+          "mis-specialized for the tail",
+))

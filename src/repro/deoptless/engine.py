@@ -90,7 +90,7 @@ def try_deoptless(vm, fs: FrameState, reason: DeoptReason, origin) -> Any:
         "deoptless_dispatch", fs.code.name,
         pc=fs.pc, reason=reason.kind.value, table_size=len(table),
     )
-    return call_continuation(vm, fun, fs)
+    return call_continuation(vm, fun, fs, reason)
 
 
 def _recompile(vm, fun: NativeCode, ctx: DeoptContext) -> bool:
@@ -164,7 +164,7 @@ def deoptless_compile(vm, fs: FrameState, reason: DeoptReason, ctx: DeoptContext
     return ncode
 
 
-def call_continuation(vm, ncode: NativeCode, fs: FrameState) -> Any:
+def call_continuation(vm, ncode: NativeCode, fs: FrameState, reason=None) -> Any:
     """Invoke a continuation, passing the extracted state directly.
 
     The calling convention matches the paper's: the environment is *not*
@@ -175,13 +175,20 @@ def call_continuation(vm, ncode: NativeCode, fs: FrameState) -> Any:
     # Register hotness with the owning closure's jit state: every dispatch
     # into a continuation (cached or fresh) counts toward tier-up.  Keyed on
     # the context the continuation was *compiled* for, so repeat recoveries
-    # that dispatch to the same entry accumulate on one counter.
+    # that dispatch to the same entry accumulate on one counter.  A None
+    # entry marks a context already promoted to a full entry version.
     ctx = getattr(ncode, "deoptless_ctx", None)
     if ctx is not None and fs.fun is not None and fs.fun.jit is not None:
-        hits = fs.fun.jit.cont_hits
+        st = fs.fun.jit
+        hits = st.cont_hits
         if hits is None:
-            hits = fs.fun.jit.cont_hits = {}
-        hits[ctx] = hits.get(ctx, 0) + 1
+            hits = st.cont_hits = {}
+        cur = hits.get(ctx, 0)
+        if cur is not None:
+            hits[ctx] = cur + 1
+            if (reason is not None
+                    and cur + 1 >= vm.config.cont_tierup_threshold):
+                maybe_tier_up_continuation(vm, fs, reason, ctx, st)
     if ncode.env_elided:
         if fs.env_values is not None and fs.env is not None:
             # mixed (escape) frame: locals are split between scalar slots
@@ -210,3 +217,51 @@ def call_continuation(vm, ncode: NativeCode, fs: FrameState) -> Any:
         result = interpreter.run(parent.code, parent.materialize_env(), vm, stack, parent.pc)
         parent = parent.parent
     return result
+
+
+def maybe_tier_up_continuation(vm, fs: FrameState, reason: DeoptReason,
+                               ctx: DeoptContext, st) -> None:
+    """Continuation tier-up (dispatched OSR, part 2).
+
+    A continuation dispatched ``cont_tierup_threshold`` times is evidence
+    the entry speculation is systematically wrong for this calling pattern:
+    promote it to a *full* entry version compiled under the repaired
+    feedback (no re-speculation of the refuted fact) and install it in the
+    closure's version table, so repeat recoveries are absorbed at the call
+    boundary instead of re-entering through a deopt.  Root frames only — an
+    inlined-frame recovery context has no entry calling convention to
+    promote to.  One attempt per context, success or not (``cont_hits``
+    keeps a None tombstone).
+    """
+    from ..osr import osr_hop
+
+    st.cont_hits[ctx] = None
+    cfg = vm.config
+    if not cfg.osr_hop or fs.parent is not None or ctx.depth != 1:
+        return
+    closure = fs.fun
+    if st.cant_compile:
+        return
+    values = osr_hop._frame_values(fs)
+    if values is None:
+        return
+    call_ctx = osr_hop._live_context(closure, values)
+    if call_ctx is None or call_ctx.specificity() == 0:
+        # a context with no discriminating information (zero formals, or
+        # nothing known about any argument) would match *every* call: the
+        # promoted version would shadow the generic unconditionally and the
+        # next phase change deopts it right back out — promotion is pure
+        # churn without an entry check to stand behind
+        return
+    vt = st.versions
+    if vt is not None:
+        if vt.lookup_exact(call_ctx) is not None:
+            return  # an entry version for this calling pattern already stands
+        if vt.full and not cfg.dispatch_evict:
+            vm.state.dispatch_refusals += 1
+            return
+    if cfg.deoptless_feedback_repair:
+        feedback = repair_feedback(fs.code, reason, ctx)
+    else:
+        feedback = fs.code.feedback
+    vm.promote_continuation(closure, st, call_ctx, feedback)

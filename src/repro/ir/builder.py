@@ -732,6 +732,12 @@ class GraphBuilder:
             vals.vars[name] = phi
         self.pending_phis[b.start] = vals
         self.in_values[b.start] = vals
+        if b.is_loop_header:
+            # OSR anchor: at a loop header every live named value and stack
+            # slot is one of these phis, so a frame materialized at this pc
+            # maps slot-for-slot onto the header's registers (lower.py turns
+            # surviving anchors into the unit's OSR entry map)
+            self.graph.osr_anchors[b.start] = (bb, dict(vals.vars), list(vals.stack))
 
     def _add_phi_inputs(self, succ_start: int, pred_bb: BasicBlock, out: "ValState") -> None:
         vals = self.pending_phis[succ_start]

@@ -104,6 +104,11 @@ class Graph:
         #: escape-mode verdict for this unit (opt/escape.EscapeInfo) — set
         #: by the builder when the graph compiled in mixed env mode
         self.escape_info = None
+        #: loop-header OSR anchors recorded by the builder: bytecode pc ->
+        #: (header block, {var name: phi}, [stack phis]).  The lowerer turns
+        #: the anchors that survive optimization into the unit's per-pc OSR
+        #: entry map (NativeCode.osr_entries)
+        self.osr_anchors: dict = {}
 
     def next_id(self) -> int:
         self._next_id += 1
@@ -185,6 +190,15 @@ class Graph:
             fs = getattr(ins, "framestate", None)
             if fs is not None:
                 fs.replace_value(old, new)
+        # OSR anchors reference header values by name; keep them pointing at
+        # the live replacement so the entry map survives simplification.
+        for _pc, (_hdr, vars_, stack) in self.osr_anchors.items():
+            for name, v in vars_.items():
+                if v is old:
+                    vars_[name] = new
+            for i, v in enumerate(stack):
+                if v is old:
+                    stack[i] = new
 
     def __repr__(self) -> str:  # pragma: no cover
         return "<Graph %s: %d blocks>" % (self.name, len(self.blocks))

@@ -280,6 +280,9 @@ def config_key(config) -> tuple:
         # entry contextual dispatch changes generic units too (the inliner
         # splices context-matched callee builds when it is on)
         config.ctxdispatch,
+        # dispatched OSR: tier-up promotes continuations into entry versions
+        # and hop validation assumes the entry maps were built
+        config.osr_hop,
     )
 
 

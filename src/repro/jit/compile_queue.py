@@ -31,14 +31,23 @@ from typing import Any, List, Optional, Tuple
 
 
 class CompileRequest:
-    __slots__ = ("closure", "feedback", "seq")
+    __slots__ = ("closure", "feedback", "seq", "ctx", "promote")
 
-    def __init__(self, closure, feedback, seq: int):
+    def __init__(self, closure, feedback, seq: int, ctx=None, promote=False):
         self.closure = closure
         #: snapshot of the per-pc profile at enqueue time (bg mode compiles
         #: from this, immune to concurrent interpreter mutation)
         self.feedback = feedback
         self.seq = seq
+        #: CallContext for an entry-specialized version request (continuation
+        #: tier-up); None means the generic whole-function compile
+        self.ctx = ctx
+        #: request came from continuation promotion — bumps cont_tierups at
+        #: install so the counter means "promotions installed" in every mode
+        self.promote = promote
+
+    def key(self):
+        return id(self.closure) if self.ctx is None else (id(self.closure), self.ctx)
 
 
 class CompileQueue:
@@ -90,6 +99,29 @@ class CompileQueue:
             self._ensure_worker()
         return None
 
+    def request_context(self, closure, st, ctx, feedback, promote=False):
+        """Tier-up request for an entry-*context* version (continuation
+        promotion).  Inline in sync mode (returns the installed NativeCode
+        or None), queued in step/bg modes (returns None)."""
+        if self.mode == "sync":
+            return self.vm._compile_context_version(closure, st, ctx,
+                                                    feedback_override=feedback)
+        req = CompileRequest(closure, feedback, self._seq + 1, ctx=ctx,
+                             promote=promote)
+        if req.key() in self.queued_ids:
+            return None
+        self._seq += 1
+        with self.lock:
+            self.pending.append(req)
+            self.queued_ids.add(req.key())
+            self.wake.notify()
+        self.vm.state.tierup_enqueues += 1
+        self.vm.state.emit("tierup_enqueue", closure.name, mode=self.mode,
+                           queue_depth=len(self.pending), ctx=True)
+        if self.mode == "bg":
+            self._ensure_worker()
+        return None
+
     # ------------------------------------------------------------------
     # drain (step mode / tests; also used by bg install path)
     # ------------------------------------------------------------------
@@ -107,7 +139,7 @@ class CompileQueue:
                 if not self.pending:
                     break
                 req = self.pending.popleft()
-                self.queued_ids.discard(id(req.closure))
+                self.queued_ids.discard(req.key())
             ncode = self._finish(req, self._build(req))
             if ncode is not None:
                 installed += 1
@@ -122,10 +154,23 @@ class CompileQueue:
         from ..ir.builder import CompilationFailure
 
         st = self.vm.jit_state(req.closure)
+        if st.cant_compile:
+            return None
+        if req.ctx is not None:
+            vt = st.versions
+            if vt is not None and vt.lookup_exact(req.ctx) is not None:
+                self.vm.state.tierup_drops += 1  # promoted while queued
+                return None
+            try:
+                return self.vm.build_context_native(req.closure, req.ctx,
+                                                    req.feedback)
+            except CompilationFailure as e:
+                self.vm._ctx_stop(st, req.ctx)
+                self.vm.state.compile_failures += 1
+                self.vm.state.emit("compile_failed", req.closure.name, error=str(e))
+                return None
         if st.version is not None:
             self.vm.state.tierup_drops += 1  # superseded while queued
-            return None
-        if st.cant_compile:
             return None
         try:
             return self.vm.build_native(req.closure, feedback_override=req.feedback)
@@ -138,6 +183,24 @@ class CompileQueue:
     def _finish(self, req: CompileRequest, ncode):
         """Install a built unit (main thread): cache insert + telemetry."""
         st = self.vm.jit_state(req.closure)
+        if req.ctx is not None:
+            vt = st.versions
+            if ncode is None or st.cant_compile or (
+                    vt is not None and vt.lookup_exact(req.ctx) is not None):
+                if ncode is not None:
+                    self.vm.state.tierup_drops += 1
+                return None
+            installed = self.vm.install_context_compiled(
+                req.closure, st, req.ctx, ncode, feedback=req.feedback)
+            if installed is None:
+                return None
+            self.vm.state.tierup_installs += 1
+            if req.promote:
+                self.vm.state.cont_tierups += 1
+                self.vm.state.emit("cont_tierup", req.closure.name,
+                                   size=installed.size,
+                                   specificity=req.ctx.specificity())
+            return installed
         if ncode is None or st.version is not None or st.cant_compile:
             if ncode is not None:
                 self.vm.state.tierup_drops += 1
@@ -167,7 +230,7 @@ class CompileQueue:
                 if self.stopping:
                     return
                 req = self.pending.popleft()
-                self.queued_ids.discard(id(req.closure))
+                self.queued_ids.discard(req.key())
                 self.inflight += 1
             ncode = None
             for _ in range(3):

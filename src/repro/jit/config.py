@@ -64,6 +64,13 @@ def _ctxdispatch_default() -> bool:
     return os.environ.get("RERPO_CTXDISPATCH", os.environ.get("REPRO_CTXDISPATCH", "1")) != "0"
 
 
+def _osr_hop_default() -> bool:
+    """Dispatched OSR between compiled versions (version-to-version hops at
+    loop headers + continuation tier-up) is on by default; ``RERPO_OSR_HOP=0``
+    reverts to terminal continuations and generic-only OSR (CI covers it)."""
+    return os.environ.get("RERPO_OSR_HOP", os.environ.get("REPRO_OSR_HOP", "1")) != "0"
+
+
 def _tierup_default() -> str:
     """Tier-up drain mode: ``sync`` (compile inline), ``step`` (explicit
     budgeted drain) or ``bg`` (worker thread).  ``RERPO_REF_EXEC=1`` forces
@@ -101,6 +108,15 @@ class Config:
     osr_threshold: int = 1000
     #: deoptimizations of one closure before the optimizer gives up on it
     max_deopts_per_function: int = 25
+    #: dispatched OSR: mid-loop exits hop into a context-compatible compiled
+    #: version at the equivalent pc (via the per-(version, pc) OSR entry
+    #: map) instead of falling back to the interpreter, and hot deoptless
+    #: continuations are promoted to full entry versions.  Keyed into the
+    #: code cache (the flag changes what tier-up lowers and installs).
+    osr_hop: bool = field(default_factory=_osr_hop_default)
+    #: dispatches into one deoptless continuation (same compiled context)
+    #: before it is promoted to a full version in the closure's VersionTable
+    cont_tierup_threshold: int = 3
 
     # -- speculation -----------------------------------------------------------
     enable_speculation: bool = True

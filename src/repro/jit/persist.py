@@ -46,8 +46,10 @@ from ..runtime.values import NULL, RBuiltin, RClosure, RNull
 from .codecache import Unstable, WorldResolver, stable_closure_hash
 
 #: bumped to 2 when DeoptDescr grew the escape-analysis rematerialization
-#: fields (promises, escape) — version-1 artifacts lack the slots
-FORMAT_VERSION = 2
+#: fields (promises, escape); to 3 when units grew the dispatched-OSR entry
+#: map (``osr_entries``) and the generated ``_unit`` signature gained the
+#: hop-entry parameters — version-2 codegen sources are uncallable with them
+FORMAT_VERSION = 3
 
 
 class PersistError(Exception):
@@ -187,6 +189,9 @@ def serialize(ncode: NativeCode, root_code: CodeObject, resolver: WorldResolver)
     """
     state = {f: getattr(ncode, f) for f in _NC_FIELDS}
     state["deoptless_ctx"] = getattr(ncode, "deoptless_ctx", None)
+    # the OSR entry map is pure lowering output (registers, kinds, RTypes —
+    # no world references beyond the already-pathed bc_code)
+    state["osr_entries"] = getattr(ncode, "osr_entries", {})
     # optional extensions ride as .get-defaulted keys so artifacts written
     # before they existed still load under the same FORMAT_VERSION
     state["param_unbox"] = getattr(ncode, "param_unbox", None)
@@ -239,6 +244,7 @@ def deserialize(data: bytes, root_code: CodeObject, resolver: WorldResolver) -> 
     nc.param_unbox = state.get("param_unbox")
     nc.call_context = state.get("call_context")
     nc.is_context_version = False
+    nc.osr_entries = state.get("osr_entries") or {}
     # restore the codegen artifact; the exec'd function is never persisted
     # (it is process-local) but the source + consts make the first bind a
     # compile()/exec with no emitter walk

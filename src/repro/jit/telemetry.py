@@ -144,6 +144,17 @@ class Telemetry:
         self.env_remat = 0
         #: bounded deduped (fn, verdict, blocked, count) log for inspectors
         self.escape_log: List[tuple] = []
+        #: dispatched OSR (osr/osr_hop.py): version-to-version hops taken at
+        #: loop headers, deoptless continuations promoted to full entry
+        #: versions, and hops declined by entry-map validation.  Like the
+        #: ctx_* precedent these describe how execution re-entered compiled
+        #: code and stay out of dispatch_signature(); the ops a hop saves or
+        #: costs are already covered by the signature counters.
+        self.osr_hops = 0
+        self.cont_tierups = 0
+        self.osr_hop_declines = 0
+        #: bounded deduped (fn, pc, reason, count) log for inspectors
+        self.osr_hop_decline_log: List[tuple] = []
         #: background/step tier-up queue (jit/compile_queue.py)
         self.tierup_enqueues = 0
         self.tierup_installs = 0
@@ -270,6 +281,9 @@ class Telemetry:
             "promise_elided": self.promise_elided,
             "escape_guards": self.escape_guards,
             "env_remat": self.env_remat,
+            "osr_hops": self.osr_hops,
+            "cont_tierups": self.cont_tierups,
+            "osr_hop_declines": self.osr_hop_declines,
             "tierup_enqueues": self.tierup_enqueues,
             "ir_verifies": self.ir_verifies,
             "allocations": self.allocations(),

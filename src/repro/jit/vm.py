@@ -37,7 +37,7 @@ from ..native import pycodegen
 from ..native.executor import execute
 from ..native.lower import NativeCode, lower
 from ..opt.pipeline import optimize
-from ..osr import osr_in, osr_out
+from ..osr import osr_hop, osr_in, osr_out
 from ..osr.framestate import CATASTROPHIC_REASONS, DeoptReason, DeoptReasonKind, FrameState
 from ..runtime.builtins import install_builtins
 from ..runtime.env import REnvironment
@@ -289,12 +289,14 @@ class RVM:
         return self._compile_context_version(closure, st, ctx)
 
     def _compile_context_version(self, closure: RClosure, st: ClosureJitState,
-                                 ctx) -> Optional[NativeCode]:
+                                 ctx, feedback_override=None) -> Optional[NativeCode]:
         """Compile (or fetch from the code cache) the version assuming
-        ``ctx`` at entry and install it into the closure's version table."""
-        key = None
+        ``ctx`` at entry and install it into the closure's version table.
+        ``feedback_override`` is the profile the build consumes instead of
+        the live one (continuation tier-up passes the *repaired* feedback)."""
         if self.code_cache is not None:
-            key = codecache.context_entry_key(closure, ctx, self.config)
+            key = codecache.context_entry_key(closure, ctx, self.config,
+                                              feedback_override)
             template = self.code_cache.lookup(key, self, closure.code)
             if template is not None:
                 ncode = template.clone_for_install()
@@ -308,13 +310,30 @@ class RVM:
                                 size=ncode.size)
                 return ncode
         try:
-            builder = GraphBuilder(self, closure.code, closure, entry_ctx=ctx)
-            graph = builder.build()
-            optimize(graph, self.config, vm=self)
-            ncode = lower(graph, drop_deopt_exits=self.config.unsound_drop_deopt_exits)
+            ncode = self.build_context_native(closure, ctx, feedback_override)
         except CompilationFailure:
             self._ctx_stop(st, ctx)
             return None
+        return self.install_context_compiled(closure, st, ctx, ncode,
+                                             feedback=feedback_override)
+
+    def build_context_native(self, closure: RClosure, ctx,
+                             feedback_override=None) -> NativeCode:
+        """Bare pipeline for an entry-specialized version (no installation,
+        no telemetry); raises CompilationFailure.  Like :meth:`build_native`
+        this is the unit of work the background compile queue may run
+        off-thread."""
+        builder = GraphBuilder(self, closure.code, closure, entry_ctx=ctx,
+                               feedback_override=feedback_override)
+        graph = builder.build()
+        optimize(graph, self.config, vm=self)
+        return lower(graph, drop_deopt_exits=self.config.unsound_drop_deopt_exits)
+
+    def install_context_compiled(self, closure: RClosure, st: ClosureJitState,
+                                 ctx, ncode: NativeCode,
+                                 feedback=None) -> Optional[NativeCode]:
+        """Install a freshly built context version (main thread): version
+        table insert, codegen prep, cache insert, telemetry."""
         if not ncode.env_elided:
             # an env-mode unit takes the [env] calling convention — useless
             # as an entry-dispatched version; don't keep trying this context
@@ -333,8 +352,27 @@ class RVM:
         self.state.emit("ctx_compile", closure.name, size=ncode.size,
                         specificity=ctx.specificity(),
                         n_versions=len(st.versions) if st.versions else 0)
-        if key is not None:
+        if self.code_cache is not None:
+            key = codecache.context_entry_key(closure, ctx, self.config, feedback)
             self.code_cache.insert(key, ncode, self, closure.code)
+        return ncode
+
+    def promote_continuation(self, closure: RClosure, st: ClosureJitState,
+                             ctx, feedback) -> Optional[NativeCode]:
+        """Continuation tier-up (dispatched OSR, part 2): a deoptless
+        continuation that keeps being dispatched is promoted to a full entry
+        version compiled under the *repaired* feedback, installed in the
+        closure's version table and content-addressed in the code cache —
+        repeat recoveries then dispatch at the call boundary in O(lookup).
+        Routed through the compile queue so step/bg modes keep compilation
+        off the recovery path."""
+        ncode = self.compile_queue.request_context(closure, st, ctx, feedback,
+                                                   promote=True)
+        if ncode is None:
+            return None  # queued (step/bg) or compile refused
+        self.state.cont_tierups += 1
+        self.state.emit("cont_tierup", closure.name, size=ncode.size,
+                        specificity=ctx.specificity())
         return ncode
 
     def _install_version(self, st: ClosureJitState, ctx, ncode: NativeCode) -> bool:
@@ -557,6 +595,21 @@ class RVM:
                 self._retire(st)
                 st.deopt_count += 1
                 st.call_count = 0  # re-warm with fresh profile before recompiling
+        if self.config.osr_hop:
+            # dispatched OSR: the failing unit is retired, but a *sibling*
+            # version (specialized or generic) may still stand and carry an
+            # OSR entry at this loop header — re-enter it compiled instead
+            # of falling back to the interpreter
+            hop = osr_hop.try_hop_out(self, fs, origin)
+            if hop is not osr_hop.NO_HOP:
+                return hop
+            if (fs.parent is None and not fs.code.osr_disabled
+                    and fun is not None and fun.jit is not None):
+                # no version admits a direct hop: arm the backedge counter
+                # so the interpreter re-attempts OSR-in on the *next*
+                # backedge (consulting the version tables again) instead of
+                # paying osr_threshold interpreted iterations first
+                fs.code.backedge_count = self.config.osr_threshold
         return osr_out.resume_in_interpreter(self, fs)
 
     def _retire(self, st: ClosureJitState) -> None:

@@ -199,19 +199,40 @@ def execute(ncode: NativeCode, args: List[Any], vm, closure_env=None) -> Any:
     return execute_ref(ncode, args, vm, closure_env)
 
 
-def execute_ref(ncode: NativeCode, args: List[Any], vm, closure_env=None) -> Any:
+def execute_at(ncode: NativeCode, entry: int, regs: List[Any], vm,
+               closure_env=None) -> Any:
+    """Enter native code mid-stream — the dispatched-OSR hop.
+
+    ``regs`` is a full register image seeded by ``osr_hop`` from an
+    ``OsrEntry`` (constants from ``reg_init``, live frame slots per the
+    entry map); execution starts at op index ``entry``, a loop header.  Same
+    engine selection as :func:`execute`; counters are engine-identical.
+    """
+    cfg = vm.config
+    if cfg.threaded_dispatch:
+        if cfg.pycodegen:
+            return execute_codegen(ncode, (), vm, closure_env,
+                                   entry=entry, regs=regs)
+        return execute_threaded(ncode, (), vm, closure_env,
+                                entry=entry, regs=regs)
+    return execute_ref(ncode, (), vm, closure_env, entry=entry, regs=regs)
+
+
+def execute_ref(ncode: NativeCode, args: List[Any], vm, closure_env=None,
+                entry: int = 0, regs: Optional[List[Any]] = None) -> Any:
     """The reference register-machine loop (kept for differential testing)."""
-    regs = list(ncode.reg_init)
-    pu = ncode.param_unbox
-    if pu is None:
-        for r, a in zip(ncode.param_regs, args):
-            regs[r] = a
-    else:
-        # entry-specialized version: dispatch already proved the context, so
-        # unboxable params bind their raw scalar payload directly (the body
-        # was compiled without the corresponding entry guards)
-        for r, a, k in zip(ncode.param_regs, args, pu):
-            regs[r] = a if k is None else a.data[0]
+    if regs is None:
+        regs = list(ncode.reg_init)
+        pu = ncode.param_unbox
+        if pu is None:
+            for r, a in zip(ncode.param_regs, args):
+                regs[r] = a
+        else:
+            # entry-specialized version: dispatch already proved the context,
+            # so unboxable params bind their raw scalar payload directly (the
+            # body was compiled without the corresponding entry guards)
+            for r, a, k in zip(ncode.param_regs, args, pu):
+                regs[r] = a if k is None else a.data[0]
     if closure_env is None and ncode.closure is not None:
         closure_env = ncode.closure.env
 
@@ -219,7 +240,7 @@ def execute_ref(ncode: NativeCode, args: List[Any], vm, closure_env=None) -> Any
     state = vm.state
     chaos = vm.chaos_rng if vm.config.chaos_rate > 0.0 else None
     chaos_rate = vm.config.chaos_rate
-    pc = 0
+    pc = entry
     nexec = 0
     ngen = 0
     nguards = 0

@@ -126,6 +126,45 @@ class DeoptDescr:
         self.escape = escape
 
 
+class OsrEntry:
+    """Hop-in recipe for one loop-header pc of a compiled unit.
+
+    Records, per interpreter frame slot, which register of this unit holds
+    it at the header and in what representation, so a materialized
+    ``FrameState`` (or a live interpreter frame) can be mapped slot-for-slot
+    into the register file and execution entered at ``index`` — the
+    version-to-version OSR transition.  Entries only exist for headers whose
+    loop region is *closed over* the anchor phis: every value the region
+    reads is one of the phis, a constant (pre-seeded by ``reg_init``), or
+    the environment seed recorded in ``env``.  Anything else (a parameter or
+    loop-invariant temporary computed by skipped entry code) makes the pc
+    unenterable and no entry is emitted.
+    """
+
+    __slots__ = ("pc", "index", "var_slots", "stack_slots", "env")
+
+    def __init__(self, pc, index, var_slots, stack_slots, env):
+        self.pc = pc
+        #: op index to start execution at (the loop header; one past the
+        #: bulk-kernel op for kernelized headers — mid-loop state enters the
+        #: retained scalar loop)
+        self.index = index
+        #: [(name, reg, kind_or_None, rtype)] — kind set when the register
+        #: holds the raw scalar payload; rtype is the phi's proven type the
+        #: live value must satisfy
+        self.var_slots: Tuple[Tuple[str, int, Optional[Kind], Any], ...] = var_slots
+        #: [(reg, kind_or_None, rtype)] positional operand-stack slots
+        self.stack_slots: Tuple[Tuple[int, Optional[Kind], Any], ...] = stack_slots
+        #: environment seed: None (fully elided), ("env", reg) — bind the
+        #: live environment object, or ("mkenv", reg, names) — rebuild the
+        #: escape-mode partial environment from the live bindings of *names*
+        self.env: Optional[tuple] = env
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<OsrEntry pc=%d idx=%d vars=%d stack=%d>" % (
+            self.pc, self.index, len(self.var_slots), len(self.stack_slots))
+
+
 class KernelGuard:
     """One guard of the scalar loop body, as seen from inside a bulk kernel.
 
@@ -254,6 +293,10 @@ class NativeCode:
         #: per-CALLG polymorphic inline caches (reference executor), keyed by
         #: op index; the threaded engine keeps its caches in handler closures
         self.pics: Dict[int, list] = {}
+        #: bytecode pc -> OsrEntry for loop headers that admit a dispatched
+        #: OSR hop into this unit (built by the lowerer from the graph's
+        #: surviving osr_anchors)
+        self.osr_entries: Dict[int, OsrEntry] = {}
         #: when this unit is a clone served by the code cache: the cached
         #: template it was cloned from (native/threaded.py back-propagates a
         #: lazily compiled handler array so later clones start warm)
@@ -296,6 +339,7 @@ class NativeCode:
         clone.pyconsts = getattr(self, "pyconsts", None)
         clone.pyfunc = getattr(self, "pyfunc", None)
         clone.pics = self.pics
+        clone.osr_entries = self.osr_entries
         clone.cache_template = self
         ctx = getattr(self, "deoptless_ctx", None)
         if ctx is not None:
@@ -439,6 +483,8 @@ class Lowerer:
         self._patch_branches()
         # with final op indices known, build the kernel descriptors
         self._finalize_kernels()
+        # ... and the dispatched-OSR entry map for surviving loop anchors
+        self._build_osr_entries()
 
         # initial register image: None except constants
         init = [None] * self.nc.n_regs
@@ -533,6 +579,113 @@ class Lowerer:
         self.emit(N.JMP, self.block_start[succ.id])
         extra_blocks.append((start, moves, succ))
         return start
+
+    # -- dispatched-OSR entry map -----------------------------------------------------------------
+
+    def _build_osr_entries(self) -> None:
+        """Turn the builder's loop-header anchors into :class:`OsrEntry`
+        records.  An anchor survives only when the loop region (blocks
+        reachable from the header) is closed over its phis: every value read
+        in-region is an anchor phi, defined in-region, a constant, or the
+        environment seed.  Any other outside definition means entering at
+        the header would skip the code that computes it, so the pc gets no
+        entry and hops fall back to whole-loop OSR compilation."""
+        anchors = getattr(self.graph, "osr_anchors", None)
+        if not anchors:
+            return
+        for pc, (header, var_phis, stack_phis) in anchors.items():
+            entry = self._osr_entry_for(pc, header, var_phis, stack_phis)
+            if entry is not None:
+                self.nc.osr_entries[pc] = entry
+
+    def _osr_entry_for(self, pc, header, var_phis, stack_phis) -> Optional[OsrEntry]:
+        if header.id not in self.block_start:
+            return None  # header unreachable after optimization
+
+        region = set()
+        work = [header]
+        while work:
+            b = work.pop()
+            if b.id in region:
+                continue
+            region.add(b.id)
+            work.extend(b.successors())
+
+        seeds = set()
+        var_slots = []
+        for name in sorted(var_phis):
+            v = var_phis[name]
+            if isinstance(v, I.Const):
+                # folded to a provable constant: reg_init pre-seeds it, and
+                # writing its (possibly shared) register would clobber other
+                # uses — the hop simply doesn't need to seed anything
+                continue
+            if v.block is None and not isinstance(v, (I.Param, I.EnvParam)):
+                # DCE removed the phi with no forwarded replacement: the
+                # variable is provably dead in the region, but a deopt-out
+                # would then lose its binding — refuse the whole pc
+                return None
+            r = self.reg_of.get(id(v))
+            if r is None:
+                return None
+            kind = v.type.kind if v.unboxed else None
+            var_slots.append((name, r, kind, v.type))
+            seeds.add(id(v))
+        stack_slots = []
+        for v in stack_phis:
+            if isinstance(v, I.Const) or (
+                v.block is None and not isinstance(v, (I.Param, I.EnvParam))
+            ):
+                return None  # a const stack slot's register may be shared
+            r = self.reg_of.get(id(v))
+            if r is None:
+                return None
+            kind = v.type.kind if v.unboxed else None
+            stack_slots.append((r, kind, v.type))
+            seeds.add(id(v))
+
+        env = None
+        for bb in self.order:
+            if bb.id not in region:
+                continue
+            for ins in bb.instrs:
+                if isinstance(ins, I.Phi):
+                    # inputs flowing in over skipped (non-region) edges are
+                    # irrelevant: the hop seeds the phi's register directly
+                    vals = [v for blk, v in ins.inputs if blk.id in region]
+                else:
+                    vals = list(ins.args)
+                fs = getattr(ins, "framestate", None)
+                if fs is not None:
+                    vals.extend(fs.iter_values())
+                for v in vals:
+                    if id(v) in seeds:
+                        continue
+                    vb = v.block
+                    if vb is not None and vb.id in region:
+                        continue
+                    if isinstance(v, I.Const):
+                        continue  # pre-seeded by reg_init
+                    if isinstance(v, I.EnvParam):
+                        r = self.reg_of.get(id(v))
+                        e = ("env", r)
+                        if r is None or (env is not None and env != e):
+                            return None
+                        env = e
+                        continue
+                    if isinstance(v, I.MkEnv):
+                        r = self.reg_of.get(id(v))
+                        e = ("mkenv", r, v.names)
+                        if r is None or (env is not None and env != e):
+                            return None
+                        env = e
+                        continue
+                    return None  # param / entry-computed invariant: unseedable
+
+        index = self.block_start[header.id]
+        if header.id in self.kernel_plans:
+            index += 1  # mid-loop state enters the retained scalar loop
+        return OsrEntry(pc, index, tuple(var_slots), tuple(stack_slots), env)
 
     # -- bulk kernel finalization ---------------------------------------------------------------
 

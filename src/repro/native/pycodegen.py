@@ -216,6 +216,8 @@ def _emit(ncode) -> Tuple[str, list]:
     uses_pics = any(op[0] == N.CALLG for op in ops)
 
     maybe_unset = set()  # registers whose entry value may be read
+    seen_regs = set()    # every register the generated code names (the OSR
+                         # hop binds all of them from its seeded image)
 
     def follow(idx: int, fold: int = 0) -> Tuple[int, int]:
         """Thread unconditional-jump chains; ``fold`` counts the JMP ops
@@ -240,10 +242,12 @@ def _emit(ncode) -> Tuple[str, list]:
         def use(r: int) -> str:
             if r not in written:
                 maybe_unset.add(r)
+            seen_regs.add(r)
             return "r%d" % r
 
         def defn(r: int) -> str:
             written.add(r)
+            seen_regs.add(r)
             return "r%d" % r
 
         def counters() -> Tuple[str, str, str]:
@@ -628,8 +632,8 @@ def _emit(ncode) -> Tuple[str, list]:
     params = list(ncode.param_regs)
     const_regs = {i for i, v0 in enumerate(ncode.reg_init) if v0 is not None}
 
-    render(0, "def _unit(ncode, vm, args, closure_env):")
-    render(1, "if len(args) != %d:" % len(params))
+    render(0, "def _unit(ncode, vm, args, closure_env, _entry=None, _regs=None):")
+    render(1, "if _regs is None and len(args) != %d:" % len(params))
     render(2, "return _fallback(ncode, vm, args, closure_env)")
     render(1, "state = vm.state")
     render(1, "_ch = vm.chaos_rng if vm.config.chaos_rate > 0.0 else None")
@@ -637,16 +641,29 @@ def _emit(ncode) -> Tuple[str, list]:
     if uses_pics:
         render(1, "_pics = ncode.pics")
     pset = set(params)
+    render(1, "if _regs is None:")
+    bound = 0
     for r in sorted((const_regs & maybe_unset) - pset):
-        render(1, "r%d = %s" % (r, K(ncode.reg_init[r])))
+        render(2, "r%d = %s" % (r, K(ncode.reg_init[r])))
+        bound += 1
     for r in sorted(maybe_unset - const_regs - pset):
-        render(1, "r%d = None" % r)
+        render(2, "r%d = None" % r)
+        bound += 1
     pu = ncode.param_unbox
     for pos, r in enumerate(params):
         if pu is not None and pu[pos] is not None:
-            render(1, "r%d = args[%d].data[0]" % (r, pos))
+            render(2, "r%d = args[%d].data[0]" % (r, pos))
         else:
-            render(1, "r%d = args[%d]" % (r, pos))
+            render(2, "r%d = args[%d]" % (r, pos))
+        bound += 1
+    if not bound:
+        render(2, "pass")
+    if seen_regs:
+        # dispatched-OSR hop: a pre-seeded full register image replaces
+        # parameter binding; execution starts at the _entry leader
+        render(1, "else:")
+        for r in sorted(seen_regs):
+            render(2, "r%d = _regs[%d]" % (r, r))
     render(1, "_n = 0")
     render(1, "_g = 0")
     render(1, "_u = 0")
@@ -655,7 +672,7 @@ def _emit(ncode) -> Tuple[str, list]:
         for ind, text in blocks[0]:
             render(2 + ind, text)
     else:
-        render(2, "_b = 0")
+        render(2, "_b = 0 if _entry is None else _entry")
         render(2, "while True:")
         first = True
         for leader in ordered:
@@ -795,17 +812,18 @@ def bind(ncode, vm):
     return fn
 
 
-def execute_codegen(ncode, args, vm, closure_env=None):
+def execute_codegen(ncode, args, vm, closure_env=None, entry=None, regs=None):
     """Run a unit through its generated function (binding it on first use);
     units the emitter declines run on the threaded executor instead."""
     fn = ncode.pyfunc
     if fn is None:
         fn = bind(ncode, vm)
         if fn is None:
-            return execute_threaded(ncode, args, vm, closure_env)
+            return execute_threaded(ncode, args, vm, closure_env,
+                                    entry=entry or 0, regs=regs)
     if closure_env is None and ncode.closure is not None:
         closure_env = ncode.closure.env
-    return fn(ncode, vm, args, closure_env)
+    return fn(ncode, vm, args, closure_env, entry, regs)
 
 
 # imported last (same pattern as threaded.py): these helpers live in

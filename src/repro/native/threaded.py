@@ -1042,26 +1042,34 @@ def compile_threaded(ncode: NativeCode) -> List[Callable[[Frame], int]]:
     return handlers
 
 
-def execute_threaded(ncode: NativeCode, args: List[Any], vm, closure_env=None) -> Any:
-    """Run native code through the threaded-dispatch handler array."""
+def execute_threaded(ncode: NativeCode, args: List[Any], vm, closure_env=None,
+                     entry: int = 0, regs=None) -> Any:
+    """Run native code through the threaded-dispatch handler array.
+
+    ``entry``/``regs`` support the dispatched-OSR hop: a pre-seeded register
+    image enters at a loop-header op index instead of binding parameters
+    (superinstruction fusion never fuses across a branch target, so the
+    handler at a mapped header index is always a real instruction start).
+    """
     handlers = ncode.threaded
     if handlers is None:
         handlers = compile_threaded(ncode)
-    regs = list(ncode.reg_init)
-    pu = ncode.param_unbox
-    if pu is None:
-        for r, a in zip(ncode.param_regs, args):
-            regs[r] = a
-    else:
-        # entry-specialized version: contextual dispatch already proved the
-        # argument shapes, so unboxable params bind their raw scalar payload
-        for r, a, k in zip(ncode.param_regs, args, pu):
-            regs[r] = a if k is None else a.data[0]
+    if regs is None:
+        regs = list(ncode.reg_init)
+        pu = ncode.param_unbox
+        if pu is None:
+            for r, a in zip(ncode.param_regs, args):
+                regs[r] = a
+        else:
+            # entry-specialized version: contextual dispatch already proved the
+            # argument shapes, so unboxable params bind their raw scalar payload
+            for r, a, k in zip(ncode.param_regs, args, pu):
+                regs[r] = a if k is None else a.data[0]
     if closure_env is None and ncode.closure is not None:
         closure_env = ncode.closure.env
 
     f = Frame(regs, vm, closure_env, ncode)
-    pc = 0
+    pc = entry
     while pc >= 0:
         pc = handlers[pc](f)
     return f.result

@@ -29,6 +29,19 @@ from ..runtime.values import rtype_quick
 def try_osr_in(vm, code, env, pc: int, closure=None) -> Tuple[bool, Any]:
     """Attempt OSR-in at a loop head. Returns (entered, result)."""
     code.backedge_count = 0  # re-arm the counter whatever happens
+
+    # Dispatched OSR first: when the closure already has installed versions
+    # carrying an OSR entry at this header, hop straight in — O(lookup), no
+    # compile.  The hop distills the live frame's call context and consults
+    # seen_contexts before selecting, so a version whose entry assumptions
+    # the running frame has violated is never picked.
+    if vm.config.osr_hop and closure is not None and closure.jit is not None:
+        from . import osr_hop
+
+        result = osr_hop.try_hop_in(vm, code, env, pc, closure, closure.jit)
+        if result is not osr_hop.NO_HOP:
+            return (True, result)
+
     var_types = {name: rtype_quick(v) for name, v in env.bindings.items()}
 
     key = None

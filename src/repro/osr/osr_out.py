@@ -23,8 +23,15 @@ from .framestate import FrameState
 
 
 def resume_in_interpreter(vm, fs: FrameState) -> Any:
-    """Continue execution of a deoptimized activation in the interpreter."""
-    result = interpreter.run(fs.code, fs.materialize_env(), vm, list(fs.stack), fs.pc)
+    """Continue execution of a deoptimized activation in the interpreter.
+
+    The owning closure is threaded through so the resumed frame keeps its
+    OSR-in eligibility: with a backedge counter armed by the dispatched-OSR
+    path (``osr_hop``), the very next backedge can hop back into compiled
+    code instead of interpreting out the loop.
+    """
+    result = interpreter.run(fs.code, fs.materialize_env(), vm, list(fs.stack),
+                             fs.pc, fs.fun)
     parent = fs.parent
     while parent is not None:
         # the caller frame was recorded at the pc *after* the inlined call,
@@ -32,6 +39,7 @@ def resume_in_interpreter(vm, fs: FrameState) -> Any:
         # value and let the interpreter carry on from there
         stack = list(parent.stack)
         stack.append(result)
-        result = interpreter.run(parent.code, parent.materialize_env(), vm, stack, parent.pc)
+        result = interpreter.run(parent.code, parent.materialize_env(), vm, stack,
+                                 parent.pc, parent.fun)
         parent = parent.parent
     return result

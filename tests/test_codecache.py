@@ -34,9 +34,12 @@ def cache_vm(**kw):
     # ctxdispatch off: these scenarios drive mixed-type calls into the
     # *generic* version to provoke deopts/recoveries; contextual dispatch
     # would hand them a specialized entry version first (tested separately
-    # in test_context_dispatch.py).
+    # in test_context_dispatch.py).  osr_hop off for the same reason: the
+    # dispatched-OSR path re-enters compiled code right after a deopt and
+    # inserts fresh (valid) continuations under the same code hash, which
+    # the invalidation assertions here would misread as stale survivors.
     cfg = dict(compile_threshold=2, enable_deoptless=True, codecache=True,
-               ctxdispatch=False)
+               ctxdispatch=False, osr_hop=False)
     cfg.update(kw)
     vm = make_vm(**cfg)
     vm.eval(SUM_SRC)
@@ -284,10 +287,10 @@ def test_save_is_atomic_and_mergeable(tmp_path):
     vm1 = cache_vm(codecache_dir=d)
     warm(vm1)
     vm1.save_code_cache()
-    # ctxdispatch pinned to match cache_vm: config_key is part of every
-    # cache key, so vm3 only disk-hits entries saved under the same flags
+    # ctxdispatch/osr_hop pinned to match cache_vm: config_key is part of
+    # every cache key, so vm3 only disk-hits entries saved under the same flags
     vm2 = make_vm(compile_threshold=2, codecache=True, codecache_dir=d,
-                  ctxdispatch=False)
+                  ctxdispatch=False, osr_hop=False)
     vm2.eval("twice <- function(x) x * 2")
     for _ in range(5):
         vm2.eval("twice(21L)")

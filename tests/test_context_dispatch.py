@@ -179,9 +179,16 @@ s }
 
 
 def warmed_poly_vm(**cfg):
-    """A VM where ``f`` has int-vector and dbl-vector entry versions."""
+    """A VM where ``f`` has int-vector and dbl-vector entry versions.
+
+    osr_hop pinned off: these tests count deopts and cache entries under
+    per-version invalidation; the dispatched-OSR path would re-enter a
+    sibling version mid-loop after the provoked deopt (and possibly deopt
+    again there), which is its own behavior, tested in test_osr_hop.py.
+    """
     cfg.setdefault("compile_threshold", 1)
     cfg.setdefault("osr_threshold", 50)
+    cfg.setdefault("osr_hop", False)
     vm = make_vm(**cfg)
     vm.eval(SUM_SRC)
     vm.eval("xi <- c(1L, 2L, 3L)")

@@ -430,6 +430,72 @@ def test_chaos_deopts_inside_elided_env_regions(src, n, seed):
     assert all(s == sigs[0] for s in sigs), src
 
 
+@st.composite
+def phaseflip_program(draw):
+    """A hot loop whose vector flips type mid-iteration — version-hop
+    fodder (dispatched OSR).  The element is routed through a global helper
+    so the speculative inline keeps per-iteration guards alive for chaos to
+    fail inside deoptless continuations; the recovery path then hops back
+    into a surviving compiled version at the loop header."""
+    op1 = draw(st.sampled_from(["+", "-", "*"]))
+    op2 = draw(st.sampled_from(["+", "-"]))
+    k = draw(st.integers(1, 4))
+    acc_init = draw(st.sampled_from(["0", "0L"]))
+    return """
+vh_step <- function(v, k) v %s k
+vh_flip <- function(a, b, n) {
+  s <- %s
+  x <- a
+  h <- n %%/%% 2L
+  i <- 1L
+  while (i <= n) {
+    if (i == h) x <- b
+    s <- s %s vh_step(x[[i]], %dL)
+    i <- i + 1L
+  }
+  s
+}
+""" % (op1, acc_init, op2, k)
+
+
+@given(phaseflip_program(), vectors, st.integers(0, 2**31))
+@settings(max_examples=12, deadline=None)
+def test_version_hops_agree_across_tiers_and_engines(src, xs, seed):
+    """Mid-loop version hops (dispatched OSR + armed re-entry + continuation
+    tier-up) are invisible in results and leave one dispatch signature
+    across the reference, threaded, and codegen engines.  The int/real
+    phases alternate call to call, and chaos mode fires assumptions inside
+    the deoptless continuations, exercising hop-out, hop-in, and the
+    decline/fallback paths under one fixed seed."""
+    tiled = (xs * 6)[:48]  # enough iterations for armed OSR-in to re-enter
+    n = len(tiled)
+    ivec = "c(%s)" % ", ".join("%dL" % x for x in tiled)
+    dvec = "c(%s)" % ", ".join("%d.5" % x for x in tiled)
+    warm = "vh_flip(%s, %s, %dL)" % (ivec, ivec, n)
+    flip = "vh_flip(%s, %s, %dL)" % (ivec, dvec, n)
+    calls = [warm] * 3 + [flip] * 6
+    vm_ref = make_vm(enable_jit=False)
+    vm_ref.eval(src)
+    expected = [from_r(vm_ref.eval(c)) for c in calls]
+    sigs = []
+    for eng in ENGINE_LEGS:
+        vm = make_vm(chaos_rate=0.05, chaos_seed=seed, compile_threshold=1,
+                     osr_threshold=25, enable_deoptless=True,
+                     ctxdispatch=False, osr_hop=True, **eng)
+        vm.eval(src)
+        got = [from_r(vm.eval(c)) for c in calls]
+        assert got == expected, (src, seed, got, expected)
+        sigs.append(vm.state.dispatch_signature())
+    assert all(s == sigs[0] for s in sigs), (src, seed)
+    # and the escape hatch must be semantics-identical too
+    vm = make_vm(chaos_rate=0.05, chaos_seed=seed, compile_threshold=1,
+                 osr_threshold=25, enable_deoptless=True,
+                 ctxdispatch=False, osr_hop=False)
+    vm.eval(src)
+    assert [from_r(vm.eval(c)) for c in calls] == expected, (src, seed)
+    assert vm.state.osr_hops == 0
+
+
 @given(inline_program(), st.integers(2, 10), st.integers(0, 2**31))
 @settings(max_examples=12, deadline=None)
 def test_chaos_deopts_inside_inlined_bodies(src, n, seed):
