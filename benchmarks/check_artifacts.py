@@ -32,6 +32,14 @@ import sys
 #: save_json("BENCH_<name>", ...) call sites in benchmark modules
 _SAVE_RE = re.compile(r"save_json\(\s*['\"](BENCH_[A-Za-z0-9_]+)['\"]")
 
+#: the known acceptance set, registered explicitly on top of call-site
+#: discovery: deleting or renaming a producer module must fail this check,
+#: not silently stop requiring its artifact
+REQUIRED = {
+    ("BENCH_compile", "test_compile_cache.py"),
+    ("BENCH_serve", "test_serve_latency.py"),
+}
+
 
 def repo_root() -> str:
     out = subprocess.run(
@@ -81,7 +89,13 @@ def main() -> int:
     #    the root (missing-artifact detection: the benchmark was never run
     #    or its output was lost)
     bench_dir = os.path.join(root, "benchmarks")
-    expected = set()
+    expected = set(REQUIRED)
+    for artifact, producer in sorted(REQUIRED):
+        if not os.path.exists(os.path.join(bench_dir, producer)):
+            errors.append(
+                "benchmarks/%s (producer of %s.json) is registered in "
+                "REQUIRED but missing from the tree" % (producer, artifact)
+            )
     self_name = os.path.basename(__file__)
     for name in sorted(os.listdir(bench_dir)):
         if not name.endswith(".py") or name == self_name:

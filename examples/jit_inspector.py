@@ -89,6 +89,7 @@ def main() -> None:
     inspect_vectorizer_plans()
     inspect_escape_verdicts()
     inspect_osr_hops()
+    inspect_fleet()
 
 
 #: ``inc`` reads the free variable ``k`` from its lexical environment, so
@@ -521,6 +522,55 @@ def inspect_osr_hops() -> None:
         print("  decline log (fn, bytecode pc, reason, times seen):")
         for fn, pc, reason, count in vm.state.osr_hop_decline_log:
             print("    %-12s pc %3d  %-24s x%d" % (fn, pc, reason, count))
+
+
+def inspect_fleet() -> None:
+    """Multi-tenant serving: the shared code cache between sessions, who
+    published what, and what each tenant actually paid the pipeline for."""
+    from repro.serve import Server
+
+    srv = Server(config_factory=lambda: Config(
+        enable_deoptless=True, compile_threshold=2, codecache=True,
+        serve=True))
+    # three tenants run the same workload; only the first compiles it
+    for tenant in ("alice", "bob", "carol"):
+        srv.eval(tenant, SRC)
+        srv.eval(tenant, "x <- c(1.5, 2.5, 3.5)")
+        srv.eval(tenant, "xi <- c(1L, 2L, 3L)")
+        for _ in range(4):
+            srv.eval(tenant, "sumfn(x, 3L)")
+        srv.eval(tenant, "sumfn(xi, 3L)")  # phase flip -> shared continuation
+
+    print()
+    print("=" * 70)
+    print("17. FLEET VIEW (one shared code cache behind three sessions)")
+    print("=" * 70)
+    st = srv.stats()
+    sc = st["shared_cache"]
+    print("  shared cache: %d entries, hits=%d (cross-tenant %d), puts=%d,"
+          " evictions=%d" % (len(srv.shared), sc["hits"],
+                             sc["cross_tenant_hits"], sc["puts"],
+                             sc["evictions"]))
+    print("  per tenant (compiled = parity-accounted; lowered = pipeline"
+          " actually ran):")
+    print("    %-8s %9s %9s %9s %9s" % ("tenant", "requests", "compiled",
+                                        "lowered", "rebinds"))
+    for tenant in sorted(st["per_tenant"]):
+        t = st["per_tenant"][tenant]
+        print("    %-8s %9d %9d %9d %9d"
+              % (tenant, t["serve_requests"], t["compiled_instrs"],
+                 t["lowered_instrs"], t["shared_rebinds"]))
+    print("  fleet: lowered %d of %d compiled instrs (%.0f%% of the"
+          " pipeline work skipped)"
+          % (st["lowered_instrs"], st["compiled_instrs"],
+             100.0 * (1 - st["lowered_instrs"] / st["compiled_instrs"])))
+    print("  publishers by digest:")
+    by_tenant = {}
+    for entry in srv.shared.entries.values():
+        by_tenant[entry.origin] = by_tenant.get(entry.origin, 0) + 1
+    for tenant, count in sorted(by_tenant.items()):
+        print("    %-8s published %d stable form(s)" % (tenant, count))
+    srv.close()
 
 
 if __name__ == "__main__":

@@ -125,8 +125,14 @@ def deoptless_compile(vm, fs: FrameState, reason: DeoptReason, ctx: DeoptContext
         key = codecache.continuation_key(code, ctx, vm.config, feedback)
         template = vm.code_cache.lookup(key, vm, code)
         if template is not None:
+            shared = vm.code_cache.last_hit_shared
             ncode = template.clone_for_install()
             ncode.closure = fs.fun
+            if shared:
+                # another tenant already compiled this recovery: rebound in
+                # O(lookup), accounted as the compile it replaces so the
+                # session's dispatch_signature is fleet-independent
+                vm._account_shared_rebind(ncode, is_continuation=True)
             vm.state.emit("codecache_hit", code.name, unit="cont", pc=fs.pc,
                           size=ncode.size)
             return ncode
@@ -159,6 +165,7 @@ def deoptless_compile(vm, fs: FrameState, reason: DeoptReason, ctx: DeoptContext
     vm.state.deoptless_compiles += 1
     vm.state.compiles += 1
     vm.state.compiled_instrs += ncode.size
+    vm.state.lowered_instrs += ncode.size
     vm.state.emit("deoptless_compile", code.name, pc=fs.pc, size=ncode.size,
                   reason=reason.kind.value)
     return ncode

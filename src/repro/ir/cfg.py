@@ -104,6 +104,10 @@ class Graph:
         #: escape-mode verdict for this unit (opt/escape.EscapeInfo) — set
         #: by the builder when the graph compiled in mixed env mode
         self.escape_info = None
+        #: callee frames spliced by opt/inline.py — carried onto NativeCode
+        #: so a cache rebind can replay the inlined_frames signature counter
+        #: the pipeline it replaces would have bumped
+        self.inlined_frames = 0
         #: loop-header OSR anchors recorded by the builder: bytecode pc ->
         #: (header block, {var name: phi}, [stack phis]).  The lowerer turns
         #: the anchors that survive optimization into the unit's per-pc OSR

@@ -455,9 +455,11 @@ def stable_digest(key: tuple, resolver: WorldResolver) -> Optional[str]:
 # ---------------------------------------------------------------------------
 
 class CacheEntry:
-    __slots__ = ("key", "ncode", "size", "code_hash", "root_code", "hits")
+    __slots__ = ("key", "ncode", "size", "code_hash", "root_code", "hits",
+                 "digest")
 
-    def __init__(self, key: tuple, ncode, size: int, code_hash: str, root_code):
+    def __init__(self, key: tuple, ncode, size: int, code_hash: str, root_code,
+                 digest: Optional[str] = None):
         self.key = key
         self.ncode = ncode
         self.size = size
@@ -469,6 +471,11 @@ class CacheEntry:
         #: through the stable layer, which rebinds code references.
         self.root_code = root_code
         self.hits = 0
+        #: world-independent digest of ``key`` when one exists.  Two exact
+        #: keys differing only in pinned identities (a re-evaluated program's
+        #: fresh closures) share a digest — and must share ONE budget charge
+        #: (see :meth:`CodeCache._admit`).
+        self.digest = digest
 
 
 class CodeCache:
@@ -498,6 +505,22 @@ class CodeCache:
         #: keys whose IR was verified when first compiled (the "verify once
         #: per distinct key" satellite: hits skip build/verify/lower wholesale)
         self.verified: set = set()
+        #: stable digest -> exact key currently charged to the budget.  One
+        #: stable form is one unit of resident code no matter how many exact
+        #: keys (re-evaluated worlds, sibling closures) resolve to it; this
+        #: map lets :meth:`_admit` release the stale charge on rebind.
+        self._digest_keys: Dict[str, tuple] = {}
+        #: process-shared L2 (serve.SharedCodeCache) probed between the
+        #: local stable layer and the disk store; None outside a fleet
+        self.shared = None
+        #: tenant label for shared-cache attribution (serve.Server sets it)
+        self.tenant: Optional[str] = None
+        #: True when the template returned by the last :meth:`lookup` was
+        #: rebound from the process-shared layer.  Install paths read this
+        #: to apply compile-parity accounting (see DESIGN.md, "Multi-tenant
+        #: serving"): a shared rebind replaces a compile this session would
+        #: otherwise have done, and must be signature-neutral.
+        self.last_hit_shared = False
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -506,8 +529,9 @@ class CodeCache:
 
     def lookup(self, key: tuple, vm, root_code: CodeObject):
         """Template for ``key`` or None.  Probes exact entries, then the
-        stable layer (memory, then disk), rebinding stable hits into the
-        current world."""
+        stable layer (memory, then the process-shared fleet cache, then
+        disk), rebinding stable hits into the current world."""
+        self.last_hit_shared = False
         entry = self.entries.get(key)
         if entry is not None and entry.root_code is root_code:
             self.entries.move_to_end(key)
@@ -527,7 +551,16 @@ class CodeCache:
         digest = stable_digest(key, resolver)
         if digest is None:
             return None
+        from_shared = False
         data = self.stable_bytes.get(digest)
+        if data is None and self.shared is not None:
+            # the fleet layer: stable bytes another tenant (or an earlier
+            # incarnation of this one) published.  Bytes are NOT copied into
+            # the local stable layer — the shared cache stays the single
+            # source of truth, so a fleet-wide invalidation needs no
+            # per-tenant cleanup.
+            data = self.shared.get(digest, key_code_hash(key), self.tenant)
+            from_shared = data is not None
         if data is None and self.dir:
             self._load_bucket(key_code_hash(key))
             data = self.stable_bytes.get(digest)
@@ -540,8 +573,11 @@ class CodeCache:
         except (Unstable, persist.PersistError):
             vm.state.codecache_persist_failures += 1
             return None
-        self._admit(key, tmpl, vm, root_code)
-        if digest in self._disk_digests:
+        self._admit(key, tmpl, vm, root_code, digest=digest)
+        if from_shared:
+            self.last_hit_shared = True
+            vm.state.shared_cache_hits += 1
+        elif digest in self._disk_digests:
             vm.state.codecache_disk_hits += 1
         else:
             vm.state.codecache_stable_hits += 1
@@ -552,28 +588,49 @@ class CodeCache:
 
     def insert(self, key: tuple, ncode, vm, root_code: CodeObject,
                verified: bool = True) -> None:
-        self._admit(key, ncode, vm, root_code)
+        resolver = WorldResolver(vm)
+        digest = stable_digest(key, resolver)
+        self._admit(key, ncode, vm, root_code, digest=digest)
         if verified:
             self.verified.add(key)
-        self._stable_insert(key, ncode, vm, root_code)
+        self._stable_insert(key, ncode, vm, root_code, resolver, digest)
 
-    def _admit(self, key: tuple, ncode, vm, root_code: CodeObject) -> None:
-        old = self.entries.pop(key, None)
-        if old is not None:
-            self.total_size -= old.size
-        entry = CacheEntry(key, ncode, ncode.size, key_code_hash(key), root_code)
+    def _drop_entry(self, key: tuple) -> CacheEntry:
+        """Remove one exact entry, releasing its budget charge and digest
+        claim.  The key must be present."""
+        entry = self.entries.pop(key)
+        self.total_size -= entry.size
+        if entry.digest is not None and self._digest_keys.get(entry.digest) == key:
+            del self._digest_keys[entry.digest]
+        return entry
+
+    def _admit(self, key: tuple, ncode, vm, root_code: CodeObject,
+               digest: Optional[str] = None) -> None:
+        if key in self.entries:
+            self._drop_entry(key)
+        if digest is not None:
+            # one stable form, one budget charge: a rebind admitted under a
+            # fresh exact key (re-evaluated program, content-identical
+            # sibling) supersedes the origin world's entry instead of
+            # double-counting the same unit's instructions against the
+            # budget on both sides
+            stale = self._digest_keys.get(digest)
+            if stale is not None and stale in self.entries:
+                self._drop_entry(stale)
+            self._digest_keys[digest] = key
+        entry = CacheEntry(key, ncode, ncode.size, key_code_hash(key),
+                           root_code, digest)
         self.entries[key] = entry
         self.total_size += entry.size
         while self.total_size > self.budget and self.entries:
-            _, evicted = self.entries.popitem(last=False)
-            self.total_size -= evicted.size
+            victim_key = next(iter(self.entries))
+            evicted = self._drop_entry(victim_key)
             vm.state.codecache_evictions += 1
             vm.state.emit("codecache_evict", evicted.ncode.name,
                           size=evicted.size, hits=evicted.hits)
 
-    def _stable_insert(self, key: tuple, ncode, vm, root_code: CodeObject) -> None:
-        resolver = WorldResolver(vm)
-        digest = stable_digest(key, resolver)
+    def _stable_insert(self, key: tuple, ncode, vm, root_code: CodeObject,
+                       resolver: WorldResolver, digest: Optional[str]) -> None:
         if digest is None:
             return
         from . import persist
@@ -589,6 +646,8 @@ class CodeCache:
         bucket = key_code_hash(key)
         self.bucket_of[digest] = bucket
         self._dirty_buckets.add(bucket)
+        if self.shared is not None:
+            self.shared.put(digest, bucket, data, ncode.size, self.tenant)
 
     # -- invalidation ---------------------------------------------------------
 
@@ -603,11 +662,17 @@ class CodeCache:
         h = stable_code_hash(code)
         doomed = [k for k, e in self.entries.items() if e.code_hash == h]
         for k in doomed:
-            entry = self.entries.pop(k)
-            self.total_size -= entry.size
+            self._drop_entry(k)
         if doomed and vm is not None:
             vm.state.codecache_invalidations += len(doomed)
             vm.state.emit("codecache_invalidate", code.name, entries=len(doomed))
+        if self.shared is not None:
+            # fleet fan-out: a real mis-speculation on this code content
+            # retires every shared stable form filed under its bucket, so
+            # no tenant's next probe rebinds the refuted speculation.  Each
+            # VM's *installed* versions are untouched — only that tenant's
+            # own deopts retire them (install separation; see DESIGN.md).
+            self.shared.invalidate_bucket(h, self.tenant)
         return len(doomed)
 
     def invalidate_context(self, code: CodeObject, ctx, vm=None) -> int:
@@ -620,9 +685,14 @@ class CodeCache:
             k for k, e in self.entries.items()
             if e.code_hash == h and k[0] == "ctxfn" and k[3] == ctx
         ]
+        digests = [self.entries[k].digest for k in doomed]
         for k in doomed:
-            entry = self.entries.pop(k)
-            self.total_size -= entry.size
+            self._drop_entry(k)
+        if self.shared is not None:
+            # narrow fan-out: only the stable forms of the refuted context
+            # leave the fleet cache; sibling contexts' entries stay shared
+            self.shared.invalidate_digests(
+                [d for d in digests if d is not None], h, self.tenant)
         if doomed and vm is not None:
             vm.state.codecache_invalidations += len(doomed)
             vm.state.emit("codecache_invalidate", code.name, entries=len(doomed),

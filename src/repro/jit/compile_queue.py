@@ -1,6 +1,6 @@
 """Background tier-up: take compilation off the interpreter's critical path.
 
-``RVM.maybe_tier_up`` routes through here.  Three modes
+``RVM.maybe_tier_up`` routes through here.  Four modes
 (``Config.tierup_mode`` / ``RERPO_TIERUP``):
 
 * ``sync`` (default) — compile inline, exactly the pre-queue behaviour.
@@ -14,6 +14,14 @@
   snapshot* taken at enqueue time; finished code is staged and installed on
   the main thread at the next closure call.  The bytecode tier keeps running
   (and profiling) the whole time, so a compile pause never stalls execution.
+* ``fleet`` — like ``bg``, but requests route to a *process-wide*
+  :class:`repro.serve.FleetCompileQueue` shared by every session in a
+  :class:`repro.serve.Server`.  One worker pool serves all tenants, and
+  identical in-flight builds (same stable digest) are coalesced: one tenant
+  compiles, the rest claim the published form from the shared code cache at
+  install time (``batched_compiles``).  Installs still happen only on the
+  owning session's thread, via the same ``ready``/``queue_ready`` protocol
+  as ``bg`` — the fleet never touches another VM's state directly.
 
 In every mode the code cache is consulted *before* a request is queued or
 compiled — a context that was compiled before installs in O(lookup).
@@ -28,6 +36,12 @@ from __future__ import annotations
 import threading
 from collections import deque
 from typing import Any, List, Optional, Tuple
+
+#: staged in ``ready`` for a request whose build was coalesced with another
+#: tenant's identical in-flight build (fleet mode): at install time the
+#: session claims the published unit from the shared cache instead of
+#: compiling.  Distinct from None (= build failed / superseded).
+COALESCED = object()
 
 
 class CompileRequest:
@@ -68,6 +82,12 @@ class CompileQueue:
         self._seq = 0
         #: requests popped by the worker but not yet staged to ``ready``
         self.inflight = 0
+        #: serve.FleetCompileQueue when mode == "fleet" (Server wires it)
+        self.fleet = None
+        #: serializes pipeline runs against this VM: the fleet pool may pick
+        #: up two of this session's requests on different workers, and the
+        #: builder/optimizer read (and log to) shared VM state
+        self.build_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self.pending)
@@ -88,6 +108,8 @@ class CompileQueue:
         }
         self._seq += 1
         req = CompileRequest(closure, snapshot, self._seq)
+        if self.mode == "fleet" and self.fleet is not None:
+            return self._submit_fleet(req)
         with self.lock:
             self.pending.append(req)
             self.queued_ids.add(id(closure))
@@ -111,6 +133,8 @@ class CompileQueue:
         if req.key() in self.queued_ids:
             return None
         self._seq += 1
+        if self.mode == "fleet" and self.fleet is not None:
+            return self._submit_fleet(req)
         with self.lock:
             self.pending.append(req)
             self.queued_ids.add(req.key())
@@ -121,6 +145,35 @@ class CompileQueue:
         if self.mode == "bg":
             self._ensure_worker()
         return None
+
+    def _submit_fleet(self, req: CompileRequest):
+        """Hand a request to the process-wide fleet queue (fleet mode).
+
+        The stable digest — the cross-tenant dedup key — must be computed
+        here, on the session thread: it walks this VM's global environment
+        to name the closures the key pins, which the fleet workers must not
+        do concurrently with the interpreter."""
+        with self.lock:
+            self.queued_ids.add(req.key())
+        self.vm.state.tierup_enqueues += 1
+        self.vm.state.emit("tierup_enqueue", req.closure.name, mode=self.mode,
+                           queue_depth=len(self.fleet), ctx=req.ctx is not None)
+        self.fleet.submit(self, req, self._fleet_digest(req))
+        return None
+
+    def _fleet_digest(self, req: CompileRequest) -> Optional[str]:
+        """Stable digest of the unit this request would build, or None when
+        the key pins world-local objects (then dedup is per-VM only)."""
+        from . import codecache
+
+        if self.vm.code_cache is None:
+            return None
+        if req.ctx is not None:
+            key = codecache.context_entry_key(req.closure, req.ctx,
+                                              self.vm.config, req.feedback)
+        else:
+            key = codecache.entry_key(req.closure, self.vm.config, req.feedback)
+        return codecache.stable_digest(key, codecache.WorldResolver(self.vm))
 
     # ------------------------------------------------------------------
     # drain (step mode / tests; also used by bg install path)
@@ -248,7 +301,14 @@ class CompileQueue:
             self.vm.queue_ready = True
 
     def install_ready(self) -> int:
-        """Main-thread install point for worker-built code."""
+        """Main-thread install point for worker-built code.
+
+        The whole install — version swap plus its telemetry counter group —
+        runs under the queue lock, which ``Telemetry.snapshot`` (wired to
+        this lock in bg/fleet modes) also takes: a concurrent snapshot sees
+        compiles/compiled_instrs/code_size move together, never a torn
+        install.  Workers staging new results block only for the µs-scale
+        install, same as any ready-deque access."""
         installed = 0
         while True:
             with self.lock:
@@ -256,12 +316,58 @@ class CompileQueue:
                     self.vm.queue_ready = False
                     break
                 req, ncode = self.ready.popleft()
-            if self._finish(req, ncode) is not None:
+                if ncode is COALESCED:
+                    res = self._finish_coalesced(req)
+                else:
+                    res = self._finish(req, ncode)
+            if res is not None:
                 installed += 1
         return installed
 
+    def _finish_coalesced(self, req: CompileRequest):
+        """Install point for a request whose build another tenant ran.
+
+        The origin session's install published the unit's stable form to the
+        shared cache; claim it from there (an O(lookup) rebind, accounted
+        with compile parity).  A miss — the origin's install hasn't happened
+        yet, or the entry was evicted/invalidated in the window — drops the
+        request: the closure is still hot, so the tier-up policy simply
+        re-requests on its next call.  Never compiles inline."""
+        vm = self.vm
+        vm.state.batched_compiles += 1
+        vm.state.emit("batched_compile", req.closure.name,
+                      ctx=req.ctx is not None)
+        st = vm.jit_state(req.closure)
+        if st.cant_compile:
+            return None
+        if req.ctx is not None:
+            vt = st.versions
+            if vt is not None and vt.lookup_exact(req.ctx) is not None:
+                return None  # promoted while queued
+            ncode = vm._compile_context_version(
+                req.closure, st, req.ctx,
+                feedback_override=req.feedback, probe_only=True)
+            if ncode is None:
+                return None
+            vm.state.tierup_installs += 1
+            if req.promote:
+                vm.state.cont_tierups += 1
+                vm.state.emit("cont_tierup", req.closure.name,
+                              size=ncode.size,
+                              specificity=req.ctx.specificity())
+            return ncode
+        if st.version is not None:
+            return None  # superseded while queued
+        ncode = vm._try_cached_entry(req.closure, st, req.feedback)
+        if ncode is None:
+            return None
+        vm.state.tierup_installs += 1
+        return ncode
+
     def join(self, timeout: float = 5.0) -> bool:
         """Wait until the worker has no pending/unstaged work (tests)."""
+        if self.mode == "fleet" and self.fleet is not None:
+            return self.fleet.join(timeout)
         if self.mode != "bg":
             return not self.pending
         with self.lock:

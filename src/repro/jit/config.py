@@ -71,6 +71,14 @@ def _osr_hop_default() -> bool:
     return os.environ.get("RERPO_OSR_HOP", os.environ.get("REPRO_OSR_HOP", "1")) != "0"
 
 
+def _serve_default() -> bool:
+    """The multi-tenant serving layer (repro/serve): shared code cache,
+    fleet-wide background tier-up and request batching.  ``RERPO_SERVE=0``
+    makes :class:`repro.serve.Server` degrade to fully isolated per-tenant
+    VMs (no sharing, no coalescing; CI covers that leg)."""
+    return os.environ.get("RERPO_SERVE", os.environ.get("REPRO_SERVE", "1")) != "0"
+
+
 def _tierup_default() -> str:
     """Tier-up drain mode: ``sync`` (compile inline), ``step`` (explicit
     budgeted drain) or ``bg`` (worker thread).  ``RERPO_REF_EXEC=1`` forces
@@ -165,6 +173,19 @@ class Config:
     tierup_mode: str = field(default_factory=_tierup_default)
     #: default compiled-instruction budget per ``drain()`` call (0: unbounded)
     tierup_drain_budget: int = 2000
+
+    # -- multi-tenant serving (repro/serve) ---------------------------------------
+    #: master switch for the serving layer: when False, ``serve.Server``
+    #: runs every tenant on a fully isolated VM (no shared code cache, no
+    #: fleet compile queue, no cold-start coalescing).  Per-tenant results
+    #: and ``dispatch_signature`` are identical either way — sharing only
+    #: changes how compiled code is *obtained* (see DESIGN.md,
+    #: "Multi-tenant serving")
+    serve: bool = field(default_factory=_serve_default)
+    #: fleet-wide LRU budget of the process-shared code cache, in compiled
+    #: instructions across all tenants (one budget for the whole fleet, not
+    #: per-VM — the point is bounding total resident shared code)
+    serve_shared_budget: int = 1_000_000
 
     # -- entry contextual dispatch (deoptless/dispatch.VersionTable) --------------
     #: dispatch function entries on a distilled CallContext: polymorphic

@@ -196,6 +196,7 @@ def serialize(ncode: NativeCode, root_code: CodeObject, resolver: WorldResolver)
     # before they existed still load under the same FORMAT_VERSION
     state["param_unbox"] = getattr(ncode, "param_unbox", None)
     state["call_context"] = getattr(ncode, "call_context", None)
+    state["inlined_frames"] = getattr(ncode, "inlined_frames", 0)
     # codegen-tier artifact (native/pycodegen.py): generated source + its
     # constant pool ride with the unit so a warm start only re-compile()s
     # the text instead of re-running the emitter.  The consts are pickled in
@@ -243,6 +244,7 @@ def deserialize(data: bytes, root_code: CodeObject, resolver: WorldResolver) -> 
     nc.cache_template = None
     nc.param_unbox = state.get("param_unbox")
     nc.call_context = state.get("call_context")
+    nc.inlined_frames = state.get("inlined_frames", 0)
     nc.is_context_version = False
     nc.osr_entries = state.get("osr_entries") or {}
     # restore the codegen artifact; the exec'd function is never persisted

@@ -47,6 +47,14 @@ class Telemetry:
     """Counters + event stream for one VM."""
 
     def __init__(self) -> None:
+        #: optional lock :meth:`snapshot` acquires before reading.  Set by
+        #: the VM to the compile queue's lock when ``tierup_mode="bg"`` (or
+        #: the serve layer's fleet mode): a worker thread may be staging
+        #: built units while a server stats thread snapshots, and install
+        #: paths bump several related counters under that lock — reading
+        #: them together keeps the snapshot internally consistent.  None
+        #: (every synchronous mode) keeps snapshot() lock-free.
+        self.snapshot_lock = None
         self.events: List[Event] = []
         self.interp_ops = 0
         self.native_ops = 0
@@ -155,6 +163,31 @@ class Telemetry:
         self.osr_hop_declines = 0
         #: bounded deduped (fn, pc, reason, count) log for inspectors
         self.osr_hop_decline_log: List[tuple] = []
+        #: multi-tenant serving (repro/serve).  Fleet aggregates are
+        #: snapshot()-only by design: they describe how the fleet obtained
+        #: code and routed requests, never what this session executed, so
+        #: ``dispatch_signature`` stays bit-identical per engine and per
+        #: tenant whether the session runs isolated or in a fleet.
+        #: Requests this session served through the Server front:
+        self.serve_requests = 0
+        #: probes answered by the process-shared cache (stable-form bytes
+        #: produced by another tenant, or by this one via the shared layer)
+        self.shared_cache_hits = 0
+        #: shared hits actually rebound + installed into this session.  The
+        #: rebind is *accounted as the compile it replaces* (compiles /
+        #: compiled_instrs bump identically to a fresh build — see
+        #: DESIGN.md), so the saving is visible here and in lowered_instrs,
+        #: never in the signature counters.
+        self.shared_rebinds = 0
+        #: compilations this session did not start because an identical
+        #: in-flight build (same stable key, another tenant) was coalesced
+        #: with ours in the fleet compile queue
+        self.batched_compiles = 0
+        #: instructions actually lowered by running the full pipeline in
+        #: this session.  Equals compiled_instrs when nothing is shared;
+        #: under serve, the fleet-wide sum of this counter is the real
+        #: compilation work done (the >=80%-fewer acceptance metric)
+        self.lowered_instrs = 0
         #: background/step tier-up queue (jit/compile_queue.py)
         self.tierup_enqueues = 0
         self.tierup_installs = 0
@@ -249,6 +282,14 @@ class Telemetry:
         }
 
     def snapshot(self) -> Dict[str, float]:
+        if self.snapshot_lock is not None:
+            # bg/fleet tier-up: a worker may be staging installs concurrently;
+            # take the queue lock so related counters are read consistently
+            with self.snapshot_lock:
+                return self._snapshot()
+        return self._snapshot()
+
+    def _snapshot(self) -> Dict[str, float]:
         return {
             "interp_ops": self.interp_ops,
             "native_ops": self.native_ops,
@@ -284,6 +325,11 @@ class Telemetry:
             "osr_hops": self.osr_hops,
             "cont_tierups": self.cont_tierups,
             "osr_hop_declines": self.osr_hop_declines,
+            "serve_requests": self.serve_requests,
+            "shared_cache_hits": self.shared_cache_hits,
+            "shared_rebinds": self.shared_rebinds,
+            "batched_compiles": self.batched_compiles,
+            "lowered_instrs": self.lowered_instrs,
             "tierup_enqueues": self.tierup_enqueues,
             "ir_verifies": self.ir_verifies,
             "allocations": self.allocations(),

@@ -102,6 +102,10 @@ class RVM:
         )
         #: tier-up request queue; in "sync" mode it compiles inline
         self.compile_queue = CompileQueue(self)
+        if self.compile_queue.mode in ("bg", "fleet"):
+            # snapshot() must see install-time counter groups atomically
+            # while a worker stages builds (serve stats threads poll it)
+            self.state.snapshot_lock = self.compile_queue.lock
         #: hot flag set by the bg worker when built code awaits install
         self.queue_ready = False
         # hot flags read by the interpreter's dispatch loop
@@ -289,16 +293,20 @@ class RVM:
         return self._compile_context_version(closure, st, ctx)
 
     def _compile_context_version(self, closure: RClosure, st: ClosureJitState,
-                                 ctx, feedback_override=None) -> Optional[NativeCode]:
+                                 ctx, feedback_override=None,
+                                 probe_only: bool = False) -> Optional[NativeCode]:
         """Compile (or fetch from the code cache) the version assuming
         ``ctx`` at entry and install it into the closure's version table.
         ``feedback_override`` is the profile the build consumes instead of
-        the live one (continuation tier-up passes the *repaired* feedback)."""
+        the live one (continuation tier-up passes the *repaired* feedback).
+        ``probe_only`` restricts to the cache-hit path (fleet-coalesced
+        installs must never run the pipeline on the session thread)."""
         if self.code_cache is not None:
             key = codecache.context_entry_key(closure, ctx, self.config,
                                               feedback_override)
             template = self.code_cache.lookup(key, self, closure.code)
             if template is not None:
+                shared = self.code_cache.last_hit_shared
                 ncode = template.clone_for_install()
                 ncode.closure = closure
                 ncode.is_context_version = True
@@ -306,9 +314,13 @@ class RVM:
                 if not self._install_version(st, ctx, ncode):
                     return None
                 self.state.code_size += ncode.size
+                if shared:
+                    self._account_shared_rebind(ncode)
                 self.state.emit("codecache_hit", closure.name, unit="ctxfn",
                                 size=ncode.size)
                 return ncode
+        if probe_only:
+            return None
         try:
             ncode = self.build_context_native(closure, ctx, feedback_override)
         except CompilationFailure:
@@ -347,6 +359,7 @@ class RVM:
         self._prepare_codegen(ncode)
         self.state.compiles += 1
         self.state.compiled_instrs += ncode.size
+        self.state.lowered_instrs += ncode.size
         self.state.code_size += ncode.size
         self.state.ctx_compiles += 1
         self.state.emit("ctx_compile", closure.name, size=ncode.size,
@@ -452,6 +465,7 @@ class RVM:
         self._prepare_codegen(ncode)
         self.state.compiles += 1
         self.state.compiled_instrs += ncode.size
+        self.state.lowered_instrs += ncode.size
         self.state.code_size += ncode.size
         self.state.emit("compile", closure.name, size=ncode.size, env_elided=ncode.env_elided)
         return ncode
@@ -475,12 +489,35 @@ class RVM:
         template = self.code_cache.lookup(key, self, closure.code)
         if template is None:
             return None
+        shared = self.code_cache.last_hit_shared
         ncode = template.clone_for_install()
         ncode.closure = closure
         st.version = ncode
         self.state.code_size += ncode.size
+        if shared:
+            self._account_shared_rebind(ncode)
         self.state.emit("codecache_hit", closure.name, unit="fn", size=ncode.size)
         return ncode
+
+    def _account_shared_rebind(self, ncode: NativeCode,
+                               is_continuation: bool = False) -> None:
+        """Compile-parity accounting for a unit rebound from the fleet's
+        shared cache.  An *isolated* session would have compiled this unit
+        itself (its local cache never saw another tenant's work), so the
+        signature counters — compiles/compiled_instrs, and
+        deoptless_compiles for continuations — bump exactly as that compile
+        would have.  The real saving (no pipeline ran) is recorded in the
+        snapshot-only shared_rebinds/lowered_instrs split, keeping each
+        tenant's ``dispatch_signature`` bit-identical serve on/off."""
+        self.state.shared_rebinds += 1
+        self.state.compiles += 1
+        self.state.compiled_instrs += ncode.size
+        # the inliner's frame count is recorded on the unit at build time so
+        # the rebind replays it (it, too, is a signature counter)
+        self.state.inlined_frames += getattr(ncode, "inlined_frames", 0)
+        if is_continuation:
+            self.state.deoptless_compiles += 1
+        self.state.emit("shared_rebind", ncode.name, size=ncode.size)
 
     def drain_compile_queue(self, budget: Optional[int] = None) -> int:
         """Explicit drain for "step" mode (and tests): compile+install up to

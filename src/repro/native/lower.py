@@ -277,6 +277,10 @@ class NativeCode:
         self.entry_pc = graph.entry_pc
         self.is_continuation = graph.is_continuation
         self.is_deoptless_continuation = False
+        #: callee frames the inliner spliced into this unit — replayed by
+        #: compile-parity accounting when a cache rebind stands in for the
+        #: pipeline run (inlined_frames is a dispatch_signature counter)
+        self.inlined_frames = getattr(graph, "inlined_frames", 0)
         self.bc_code = graph.bc_code
         #: set by the VM when installing: the closure this code belongs to
         self.closure = None
@@ -331,6 +335,7 @@ class NativeCode:
         clone.entry_pc = self.entry_pc
         clone.is_continuation = self.is_continuation
         clone.is_deoptless_continuation = self.is_deoptless_continuation
+        clone.inlined_frames = getattr(self, "inlined_frames", 0)
         clone.bc_code = self.bc_code
         clone.closure = None
         clone.invalidated = False

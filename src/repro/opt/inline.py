@@ -128,6 +128,7 @@ def inline_calls(graph: Graph, vm) -> int:
         worklist.extend(new_calls)
     if inlined:
         vm.state.inlined_frames += inlined
+        graph.inlined_frames += inlined
     return inlined
 
 

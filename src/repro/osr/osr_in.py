@@ -53,6 +53,8 @@ def try_osr_in(vm, code, env, pc: int, closure=None) -> Tuple[bool, Any]:
         template = vm.code_cache.lookup(key, vm, code)
         if template is not None:
             ncode = template.clone_for_install()
+            if vm.code_cache.last_hit_shared:
+                vm._account_shared_rebind(ncode)
             vm.state.emit("codecache_hit", code.name, unit="osr", pc=pc,
                           size=ncode.size)
 
@@ -82,6 +84,7 @@ def try_osr_in(vm, code, env, pc: int, closure=None) -> Tuple[bool, Any]:
             vm.code_cache.insert(key, ncode, vm, code)
         vm.state.compiles += 1
         vm.state.compiled_instrs += ncode.size
+        vm.state.lowered_instrs += ncode.size
 
     ncode.closure = closure
     vm.state.osr_ins += 1

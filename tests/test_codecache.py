@@ -190,6 +190,28 @@ def test_eviction_is_lru_ordered():
     assert codecache.stable_code_hash(f.code) in hashes, "recently used survives"
 
 
+def test_stable_rebind_does_not_double_count_budget():
+    """Regression: re-evaluating a program creates fresh closures whose
+    feedback embeds new identities — a new *exact* key with the *same*
+    stable digest.  Admitting the rebind must release the stale same-digest
+    entry's budget charge, not charge the unit twice."""
+    vm = cache_vm()
+    warm(vm)
+    assert vm.state.compiles == 1
+    size_one = vm.code_cache.total_size
+    assert size_one > 0
+    for _ in range(3):
+        vm.eval(SUM_SRC)  # fresh CodeObject each time -> new exact key
+        warm(vm)
+    assert vm.state.codecache_stable_hits >= 3
+    assert vm.code_cache.total_size == size_one, \
+        "one stable form must hold exactly one budget charge"
+    # and the digest index points at the live key only
+    digests = [e.digest for e in vm.code_cache.entries.values()
+               if e.digest is not None]
+    assert len(digests) == len(set(digests)), "duplicate digests resident"
+
+
 # ---------------------------------------------------------------------------
 # invalidation
 # ---------------------------------------------------------------------------

@@ -37,3 +37,11 @@ def test_jit_inspector_runs():
     assert "Assume" in out
     assert "DEOPTLESS DISPATCH TABLE" in out
     assert "typecheck" in out
+    assert "FLEET VIEW" in out
+
+
+def test_serve_demo_runs():
+    out = run_example("serve_demo.py", timeout=300)
+    assert "serving mode: shared fleet" in out
+    assert "cross-tenant" in out
+    assert "mallory" in out
